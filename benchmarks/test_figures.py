@@ -1,0 +1,110 @@
+"""Benchmarks regenerating the paper's Figures 2-4 and 9-11."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compliance import Directive
+from repro.reporting import experiments
+from repro.uaparse.categories import BotCategory
+
+
+def test_figure2_category_sessions(benchmark, fresh_analysis):
+    """F2: search-related bots are the most active categories."""
+    result = benchmark(lambda: experiments.figure2(fresh_analysis()))
+    counts = result.data
+    ranked = sorted(counts, key=counts.get, reverse=True)
+    assert set(ranked[:2]) <= {
+        BotCategory.SEARCH_ENGINE_CRAWLER,
+        BotCategory.AI_SEARCH_CRAWLER,
+        BotCategory.AI_DATA_SCRAPER,
+    }
+    # The long tail exists: at least 8 categories observed.
+    assert len(counts) >= 8
+    print("\n" + result.rendered)
+
+
+def test_figure3_bytes_cdf(benchmark, fresh_analysis):
+    """F3: byte CDFs are monotone and mostly steady; search engines
+    show a late-window jump (YisouSpider's March burst)."""
+    result = benchmark(lambda: experiments.figure3(fresh_analysis()))
+    series = result.data
+    assert len(series) == 5
+    for points in series.values():
+        values = [value for _, value in points]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+    sec = series.get(BotCategory.SEARCH_ENGINE_CRAWLER)
+    assert sec is not None
+    halfway = sec[len(sec) // 2][1]
+    assert halfway < 0.8  # most SEC bytes arrive in the second half
+    print("\n" + result.rendered)
+
+
+def test_figure4_daily_sessions(benchmark, fresh_analysis):
+    """F4: per-day session series for the top-5 categories, with
+    search crawlers the most volatile (burst-driven)."""
+    result = benchmark(lambda: experiments.figure4(fresh_analysis()))
+    series = result.data
+    assert len(series) == 5
+
+    def volatility(days: dict[str, int]) -> float:
+        values = list(days.values())
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean else 0.0
+
+    sec = series.get(BotCategory.SEARCH_ENGINE_CRAWLER)
+    assert sec is not None
+    assert volatility(sec) > 1.5  # the mid-March spike
+    print("\n" + result.rendered)
+
+
+def test_figure9_compliance_shifts(benchmark, fresh_analysis):
+    """F9: compliance ratios shift per bot, with significant positive
+    shifts for the respectful AI bots under disallow-all."""
+    result = benchmark(lambda: experiments.figure9(fresh_analysis()))
+    per_bot = result.data
+    assert len(per_bot) >= 15  # paper plots 26+ bots
+    chatgpt = per_bot["ChatGPT-User"][Directive.DISALLOW_ALL]
+    assert chatgpt.shift > 0.5 and chatgpt.test.significant
+    print("\n" + result.rendered)
+
+
+def test_figure10_check_frequency(benchmark, fresh_analysis):
+    """F10: re-check proportions rise with window length; AI
+    assistants / AI search crawlers have the lowest re-check rates."""
+    result = benchmark(lambda: experiments.figure10(fresh_analysis()))
+    proportions = result.data
+    for windows in proportions.values():
+        ordered = [windows[hours] for hours in sorted(windows)]
+        assert ordered == sorted(ordered)  # monotone in window length
+    ai = [
+        max(windows.values())
+        for category, windows in proportions.items()
+        if category in (BotCategory.AI_ASSISTANT, BotCategory.AI_SEARCH_CRAWLER)
+    ]
+    fast = [
+        max(windows.values())
+        for category, windows in proportions.items()
+        if category
+        in (BotCategory.SCRAPER, BotCategory.ARCHIVER, BotCategory.INTELLIGENCE_GATHERER)
+    ]
+    if ai and fast:
+        assert max(fast) >= max(ai)
+    print("\n" + result.rendered)
+
+
+def test_figure11_spoofed_compliance(benchmark, fresh_analysis):
+    """F11: spoofed instances respond less to robots.txt changes than
+    their genuine counterparts."""
+    result = benchmark(lambda: experiments.figure11(fresh_analysis()))
+    per_bot = result.data
+    assert per_bot  # some spoofed subsets are analyzable
+    flat = [
+        res
+        for directives in per_bot.values()
+        for res in directives.values()
+    ]
+    unresponsive = sum(1 for res in flat if abs(res.shift) < 0.2)
+    assert unresponsive >= len(flat) / 2
+    print("\n" + result.rendered)

@@ -1,0 +1,115 @@
+"""Benchmarks regenerating the paper's Tables 2-10.
+
+Each benchmark measures the full analysis behind one table (on cold
+caches) and asserts the paper's *shape* findings before printing the
+regenerated rows.  Run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compliance import Directive
+from repro.reporting import experiments
+from repro.robots.corpus import RobotsVersion
+from repro.uaparse.categories import BotCategory
+
+
+def test_table2_overview(benchmark, fresh_analysis):
+    """T2: dataset overview — known bots are a strict subset."""
+    result = benchmark(lambda: experiments.table2(fresh_analysis()))
+    data = result.data
+    assert data["Known bots"].total_page_visits < data["All data"].total_page_visits
+    assert data["Known bots"].unique_ip_hashes < data["All data"].unique_ip_hashes
+    print("\n" + result.rendered)
+
+
+def test_table3_top_bots(benchmark, fresh_analysis):
+    """T3: YisouSpider + Applebot jointly dominate (paper: ~31%)."""
+    result = benchmark(lambda: experiments.table3(fresh_analysis()))
+    activity = result.data
+    top_two = {row.bot_name for row in activity[:2]}
+    assert top_two == {"YisouSpider", "Applebot"}
+    joint_share = sum(row.traffic_share for row in activity[:2])
+    assert 0.15 < joint_share < 0.60
+    print("\n" + result.rendered)
+
+
+def test_table4_version_traffic(benchmark, fresh_analysis):
+    """T4: traffic volume is broadly consistent across deployments."""
+    result = benchmark(lambda: experiments.table4(fresh_analysis()))
+    visits = [visits for visits, _bots in result.data.values()]
+    bots = [bots for _visits, bots in result.data.values()]
+    assert max(visits) < 5 * min(visits)
+    assert min(bots) > 30
+    print("\n" + result.rendered)
+
+
+def test_table5_category_compliance(benchmark, fresh_analysis):
+    """T5: crawl delay most complied; SEO best; headless worst."""
+    result = benchmark(lambda: experiments.table5(fresh_analysis()))
+    table = result.data
+    crawl = table.directive_average(Directive.CRAWL_DELAY)
+    endpoint = table.directive_average(Directive.ENDPOINT)
+    disallow = table.directive_average(Directive.DISALLOW_ALL)
+    assert crawl > endpoint and crawl > disallow  # RQ1
+    assert table.category_average(BotCategory.SEO_CRAWLER) > 0.55  # RQ2
+    assert table.category_average(BotCategory.HEADLESS_BROWSER) < 0.3
+    print("\n" + result.rendered)
+
+
+def test_table6_per_bot(benchmark, fresh_analysis):
+    """T6: per-bot values track the paper's calibration targets."""
+    result = benchmark(lambda: experiments.table6(fresh_analysis()))
+    per_bot = result.data
+    chatgpt = per_bot["ChatGPT-User"]
+    assert chatgpt[Directive.DISALLOW_ALL].treatment_ratio > 0.9  # paper 1.000
+    assert chatgpt[Directive.ENDPOINT].treatment_ratio < 0.35  # paper 0.131
+    headless = per_bot["HeadlessChrome"]
+    assert headless[Directive.CRAWL_DELAY].treatment_ratio < 0.2  # paper 0.036
+    print("\n" + result.rendered)
+
+
+def test_table7_skipped_checks(benchmark, fresh_analysis):
+    """T7: some bots never check robots.txt yet sometimes comply."""
+    result = benchmark(lambda: experiments.table7(fresh_analysis()))
+    rows = result.data
+    assert rows
+    names = {row.bot_name for row in rows}
+    assert names & {"BrightEdge Crawler", "Axios", "SkypeUriPreview", "Iframely"}
+    print("\n" + result.rendered)
+
+
+def test_table8_spoof_asns(benchmark, fresh_analysis):
+    """T8: well-known bots show one dominant + few suspicious ASNs."""
+    result = benchmark(lambda: experiments.table8(fresh_analysis()))
+    findings = result.data
+    assert len(findings) >= 8
+    assert "Googlebot" in findings
+    googlebot = findings["Googlebot"]
+    assert googlebot.main_asn_name == "GOOGLE"
+    assert googlebot.main_share >= 0.9
+    print("\n" + result.rendered)
+
+
+def test_table9_spoof_counts(benchmark, fresh_analysis):
+    """T9: spoofed requests are a tiny fraction of phase traffic."""
+    result = benchmark(lambda: experiments.table9(fresh_analysis()))
+    for legitimate, spoofed in result.data.values():
+        assert spoofed < 0.03 * legitimate
+    print("\n" + result.rendered)
+
+
+def test_table10_significance(benchmark, fresh_analysis):
+    """T10: the paper's headline significance calls reproduce."""
+    result = benchmark(lambda: experiments.table10(fresh_analysis()))
+    per_bot = result.data
+    gptbot = per_bot["GPTBot"]
+    assert gptbot[Directive.DISALLOW_ALL].test.significant  # paper z=24.2
+    assert gptbot[Directive.DISALLOW_ALL].test.z > 5
+    applebot = per_bot.get("Applebot")
+    if applebot is not None:
+        # Paper: Applebot's shifts are all non-significant (z=-0.45).
+        # At simulation scale the call can sit on the 0.05 boundary,
+        # so assert the qualitative claim: no large shift.
+        assert abs(applebot[Directive.CRAWL_DELAY].test.z) < 3.0
+    print("\n" + result.rendered)

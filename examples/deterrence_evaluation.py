@@ -1,0 +1,138 @@
+"""Evaluate enforceable deterrence against the study's bot population.
+
+The paper concludes that robots.txt "does not provide a universally
+respected signal" and calls for "more strongly-enforceable methods".
+This example quantifies that contrast: the same calibrated bot
+population crawls the same site estate twice —
+
+1. behind a plain server (robots.txt only, compliance voluntary);
+2. behind a :class:`~repro.deterrence.DeterrenceGateway` (per-IP rate
+   limiting with escalation to temporary blocks, plus a tarpit for
+   Bytespider-class agents).
+
+We then compare how much content each bot class actually obtained.
+
+Run with::
+
+    python examples/deterrence_evaluation.py
+"""
+
+from collections import defaultdict
+
+from repro.bots import BotAgent, build_profiles
+from repro.deterrence import (
+    Blocklist,
+    DeterrenceGateway,
+    EscalationRule,
+    RateLimiter,
+    TarpitGenerator,
+)
+from repro.reporting import render_table
+from repro.simulation import epoch, quick_scenario
+from repro.uaparse import default_registry
+from repro.web import WebServer, build_university_sites
+
+#: Bots whose outcomes we track individually.
+FOCUS_BOTS = (
+    "GPTBot",
+    "ClaudeBot",
+    "Bytespider",
+    "HeadlessChrome",
+    "YisouSpider",
+    "Googlebot",
+)
+
+
+def run_population(gateway_factory):
+    """Drive the focus bots for three days through ``gateway_factory``."""
+    scenario = quick_scenario(scale=1.0, seed=42)
+    server = WebServer()
+    for site in build_university_sites(seed=scenario.seed):
+        server.host(site)
+    outcomes: dict[str, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    front = gateway_factory(server)
+
+    class _Front:
+        """Adapter counting per-bot outcome statuses."""
+
+        sites = server.sites
+
+        @staticmethod
+        def handle(request):
+            response = front.handle(request)
+            record = default_registry().identify(request.user_agent)
+            name = record.name if record else "unknown"
+            outcomes[name][response.status] += 1
+            return response
+
+    profiles = [
+        profile for profile in build_profiles() if profile.name in FOCUS_BOTS
+    ]
+    for profile in profiles:
+        agent = BotAgent(profile=profile, scenario=scenario, server=_Front)
+        for day in ("2025-02-12", "2025-02-13", "2025-02-14"):
+            agent.emit_day(epoch(day))
+    return outcomes, front
+
+
+def summarize(outcomes) -> dict[str, tuple[int, int]]:
+    """(content responses, refused responses) per focus bot."""
+    summary = {}
+    for name, statuses in outcomes.items():
+        served = statuses.get(200, 0) + statuses.get(404, 0)
+        refused = statuses.get(403, 0) + statuses.get(429, 0)
+        summary[name] = (served, refused)
+    return summary
+
+
+def main() -> None:
+    print("Pass 1: robots.txt only (voluntary compliance)...")
+    plain_outcomes, _ = run_population(lambda server: server)
+    plain = summarize(plain_outcomes)
+
+    print("Pass 2: deterrence gateway (rate limit + escalation + tarpit)...")
+
+    def build(server):
+        return DeterrenceGateway(
+            server=server,
+            blocklist=Blocklist(),
+            limiter=RateLimiter(capacity=40.0, refill_per_second=0.3),
+            escalation=EscalationRule(strikes=8, window_seconds=600.0),
+            tarpit=TarpitGenerator(),
+            tarpit_agents=("Bytespider",),
+        )
+
+    gated_outcomes, gateway = run_population(build)
+    gated = summarize(gated_outcomes)
+
+    rows = []
+    for key in sorted(plain):
+        plain_served, _ = plain[key]
+        gated_served, gated_refused = gated.get(key, (0, 0))
+        reduction = 1 - gated_served / plain_served if plain_served else 0.0
+        rows.append(
+            (key, plain_served, gated_served, gated_refused, f"{100 * reduction:.0f}%")
+        )
+    print()
+    print(
+        render_table(
+            ("Agent", "Served (plain)", "Served (gated)", "Refused", "Reduction"),
+            rows,
+            title="Content obtained: robots.txt alone vs enforceable gateway",
+        )
+    )
+    stats = gateway.stats
+    print(
+        f"\nGateway totals: {stats.served} served, {stats.throttled} throttled, "
+        f"{stats.blocked} blocked, {stats.tarpitted} tarpitted "
+        f"-> {100 * stats.deterred_fraction():.0f}% of requests deterred."
+    )
+    print(
+        "\nThe voluntary regime only restrains bots that choose to comply;\n"
+        "the gateway bounds everyone's intake regardless of goodwill — the\n"
+        "paper's argument for enforceable deterrence, made quantitative."
+    )
+
+
+if __name__ == "__main__":
+    main()

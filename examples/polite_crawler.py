@@ -1,0 +1,104 @@
+"""A polite crawler built on the library's robots.txt engine.
+
+Demonstrates the crawler-side use of the engine: fetch robots.txt
+once per origin, honour fetch-failure semantics (4xx allow / 5xx
+deny), cache it with the conventional 24-hour TTL, filter frontier
+URLs through the policy, and respect the advertised crawl delay —
+everything the paper's *compliant* bots (Amazonbot, ClaudeBot,
+GPTBot under disallow) were observed doing.
+
+Run with::
+
+    python examples/polite_crawler.py
+"""
+
+from repro.robots import RobotsCache, resolve_fetch
+from repro.simulation import epoch
+from repro.web import Request, WebServer, build_university_sites
+from repro.robots.corpus import RobotsVersion, render_version
+
+USER_AGENT = "PoliteBot/1.0 (+https://example.org/politebot)"
+ROBOTS_TOKEN = "PoliteBot"
+
+
+class PoliteCrawler:
+    """Minimal compliant crawler over the in-memory web substrate."""
+
+    def __init__(self, server: WebServer) -> None:
+        self._server = server
+        self._cache = RobotsCache()  # 24 h TTL, like Google's guidance
+        self._now = epoch("2025-02-12")
+
+    def crawl(self, host: str, frontier: list[str]) -> list[str]:
+        """Fetch every allowed URL in ``frontier``; returns fetched paths."""
+        policy = self._policy_for(host)
+        delay = policy.crawl_delay(ROBOTS_TOKEN) or 0.0
+        fetched = []
+        for path in frontier:
+            decision = policy.decide(ROBOTS_TOKEN, path)
+            if not decision.allowed:
+                print(f"    skip {path:34s} ({decision.reason})")
+                continue
+            response = self._request(host, path)
+            print(f"    GET  {path:34s} -> {response.status} "
+                  f"({response.body_bytes} bytes), waiting {delay:g}s")
+            fetched.append(path)
+            self._now += max(delay, 0.5)
+        return fetched
+
+    def _policy_for(self, host: str):
+        cached = self._cache.get(host, self._now)
+        if cached is not None:
+            return cached
+        response = self._request(host, "/robots.txt")
+        result = resolve_fetch(response.status, response.body or b"")
+        print(f"  fetched robots.txt ({response.status}) -> "
+              f"{result.disposition.value}")
+        self._cache.put(host, result.policy, self._now)
+        return result.policy
+
+    def _request(self, host: str, path: str):
+        request = Request(
+            host=host,
+            path=path,
+            user_agent=USER_AGENT,
+            client_ip="198.51.100.99",
+            asn=64512,
+            timestamp=self._now,
+        )
+        self._now += 0.2
+        return self._server.handle(request)
+
+
+def main() -> None:
+    server = WebServer()
+    for site in build_university_sites(seed=1):
+        server.host(site)
+    host = "library.university.edu"
+    frontier = [
+        "/",
+        "/news/article-001",
+        "/secure/area-000",  # disallowed by the site's robots.txt
+        "/page-data/index/page-data.json",
+        "/404",  # disallowed
+    ]
+
+    print(f"--- crawl under the site's default robots.txt ({host}) ---")
+    crawler = PoliteCrawler(server)
+    crawler.crawl(host, frontier)
+
+    print("\n--- site deploys the paper's v3 (disallow all) ---")
+    server.site(host).set_robots(render_version(RobotsVersion.V3_DISALLOW_ALL))
+    fresh = PoliteCrawler(server)  # fresh cache: sees the new file
+    fetched = fresh.crawl(host, frontier)
+    print(f"  fetched under v3: {fetched or 'nothing (fully compliant)'}")
+
+    print("\n--- robots.txt starts returning 503 (assume full disallow) ---")
+    server.site(host).set_robots("", status=503)
+    erroring = PoliteCrawler(server)
+    fetched = erroring.crawl(host, ["/", "/news/article-001"])
+    print(f"  fetched while robots.txt 503s: {fetched or 'nothing'}")
+
+
+if __name__ == "__main__":
+    main()

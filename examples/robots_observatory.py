@@ -1,0 +1,98 @@
+"""Track robots.txt evolution over time (the Longpre-et-al. lens).
+
+The paper's motivation rests on longitudinal evidence that robots.txt
+files tightened sharply after generative AI's rise.  This example
+replays that history for a hypothetical site — open in 2022, AI bots
+blocked in 2023, fully closed in 2025 — and shows the observatory's
+analytics: restrictiveness series, AI restriction index, change
+events (semantic diffs), and the tightening trend.
+
+Run with::
+
+    python examples/robots_observatory.py
+"""
+
+from repro.observatory import RobotsObservatory, fully_blocked_agents
+from repro.robots import RobotsBuilder
+from repro.robots.diff import render_diff
+from repro.simulation import epoch
+
+SNAPSHOTS = [
+    (
+        "2022-01-15",
+        RobotsBuilder().group("*").allow("/").disallow("/admin").build_text(),
+    ),
+    (
+        "2023-08-01",
+        (
+            RobotsBuilder()
+            .group("GPTBot")
+            .disallow("/")
+            .group("CCBot")
+            .disallow("/")
+            .group("*")
+            .allow("/")
+            .disallow("/admin")
+            .build_text()
+        ),
+    ),
+    (
+        "2024-05-01",
+        (
+            RobotsBuilder()
+            .group("GPTBot", "CCBot", "ClaudeBot", "Bytespider", "Amazonbot")
+            .disallow("/")
+            .group("*")
+            .allow("/")
+            .disallow("/admin")
+            .crawl_delay(10)
+            .build_text()
+        ),
+    ),
+    (
+        "2025-02-01",
+        (
+            RobotsBuilder()
+            .group("Googlebot")
+            .allow("/")
+            .group("*")
+            .disallow("/")
+            .build_text()
+        ),
+    ),
+]
+
+
+def main() -> None:
+    observatory = RobotsObservatory()
+    for day, text in SNAPSHOTS:
+        observatory.record("news.example", epoch(day), text)
+
+    print("Restrictiveness over time (all probe agents / AI agents):")
+    general = observatory.restrictiveness_series("news.example")
+    ai = observatory.ai_series("news.example")
+    for (when, overall), (_, ai_value), (day, _) in zip(general, ai, SNAPSHOTS):
+        print(f"  {day}: overall {overall:.2f}   AI index {ai_value:.2f}")
+
+    print("\nChange events (semantic diffs between snapshots):")
+    for event in observatory.change_events("news.example"):
+        from datetime import datetime, timezone
+
+        day = datetime.fromtimestamp(event.when, tz=timezone.utc).date()
+        direction = "TIGHTENED" if event.tightened else "loosened"
+        print(f"\n--- {day}: {direction} "
+              f"(strictness {event.diff.strictness_score():+.2f}) ---")
+        print(render_diff(event.diff))
+
+    slope = observatory.tightening_slope("news.example")
+    latest = observatory.latest("news.example")
+    print(f"\nTightening slope: {slope:+.3f} restrictiveness/year "
+          f"({'closing down' if slope > 0 else 'opening up'})")
+    print(
+        "Fully blocked today: "
+        + ", ".join(fully_blocked_agents(latest.policy))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Detect user-agent spoofing with the ASN-dominance heuristic (§5.2).
+
+A site operator scenario: bots with privileged robots.txt treatment
+(e.g. Googlebot) are attractive identities to fake.  The paper's
+heuristic flags requests that carry a well-known UA but originate
+outside the bot's dominant autonomous system.
+
+The example simulates a short study, runs the detector, prints the
+Table-8-style findings, and then compares the compliance of
+legitimate vs spoofed traffic (the Figure 11 analysis).
+
+Run with::
+
+    python examples/spoofing_detection.py
+"""
+
+from repro import StudyAnalysis, run_study
+from repro.analysis import Directive, confirm_spoofers, confirmation_rate, sample_for
+from repro.reporting import render_table
+
+
+def main() -> None:
+    print("Simulating a study with spoofed shadow traffic (scale 0.15)...")
+    dataset = run_study(scale=0.15, seed=99)
+    analysis = StudyAnalysis(dataset)
+
+    findings = analysis.spoof_findings
+    print(f"\n{len(findings)} bots flagged by the >=90% ASN-dominance heuristic:\n")
+    rows = [
+        (
+            finding.bot_name,
+            finding.main_asn_name,
+            f"{100 * finding.main_share:.2f}%",
+            len(finding.suspicious_asns),
+            finding.spoofed_records,
+        )
+        for finding in sorted(
+            findings.values(), key=lambda f: f.spoofed_records, reverse=True
+        )
+    ]
+    print(
+        render_table(
+            ("Bot", "Dominant ASN", "Share", "Suspicious ASNs", "Spoofed reqs"),
+            rows,
+            title="Possible spoofing (Table 8 analog)",
+        )
+    )
+
+    total = len(analysis.records)
+    spoofed_total = sum(f.spoofed_records for f in findings.values())
+    print(
+        f"\nSpoofed traffic is rare: {spoofed_total} of {total:,} records "
+        f"({100 * spoofed_total / total:.3f}%) — the paper reports <0.1%."
+    )
+
+    print("\nDo spoofed instances respect robots.txt? (Figure 11 analog)")
+    rows = []
+    for bot_name, partition in sorted(analysis.spoof_partitions.items()):
+        if len(partition.spoofed) < 5:
+            continue
+        legit = sample_for(Directive.DISALLOW_ALL, partition.legitimate)
+        spoofed = sample_for(Directive.DISALLOW_ALL, partition.spoofed)
+        rows.append(
+            (
+                bot_name,
+                f"{legit.proportion:.3f}",
+                f"{spoofed.proportion:.3f}",
+                len(partition.spoofed),
+            )
+        )
+    print(
+        render_table(
+            ("Bot", "Legit robots-share", "Spoofed robots-share", "Spoofed n"),
+            rows,
+        )
+    )
+    print(
+        "\nSpoofed instances typically show near-zero robots.txt engagement\n"
+        "even when the genuine bot complies — the paper's §5.2 conclusion."
+    )
+
+    print("\nHoneypot confirmation (the paper's proposed future work):")
+    verdicts = confirm_spoofers(analysis.records, findings)
+    rows = [
+        (
+            verdict.bot_name,
+            len(verdict.confirmed_asns),
+            len(verdict.suspected_asns),
+            verdict.dominant_trap_hits,
+        )
+        for verdict in sorted(
+            verdicts.values(),
+            key=lambda v: len(v.confirmed_asns),
+            reverse=True,
+        )
+        if verdict.confirmed or verdict.suspected_asns
+    ]
+    print(
+        render_table(
+            ("Bot", "Confirmed spoof ASNs", "Suspected only", "Dominant trap hits"),
+            rows,
+            title="Trap-path cross-check",
+        )
+    )
+    print(
+        f"\n{100 * confirmation_rate(verdicts):.0f}% of heuristically flagged "
+        "bots have at least one ASN caught requesting a honeypot path —\n"
+        "direct evidence the heuristic's minority-ASN traffic is not the "
+        "genuine bot."
+    )
+
+
+if __name__ == "__main__":
+    main()

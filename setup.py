@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments that lack
+the ``wheel`` package required by PEP 660 editable installs.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

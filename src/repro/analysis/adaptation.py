@@ -1,0 +1,147 @@
+"""Adaptation-lag analysis: how fast do bots react to a new robots.txt?
+
+The paper's §4.1 names this as the second goal of the versioned
+deployment ("measuring how quickly scrapers adapted to new robots.txt
+restrictions") but reports no dedicated table.  This module supplies
+the measurement:
+
+- **discovery lag** — time from a version's deployment to the bot's
+  first robots.txt fetch under that version (how fast the bot *could*
+  know);
+- **behaviour lag** — time from deployment to the bot's measured
+  compliance (over a sliding window) first reaching the neighbourhood
+  of its eventual whole-phase level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logs.schema import LogRecord
+from .compliance import Directive, sample_for
+
+#: Sliding window length used for behaviour-lag detection (seconds).
+BEHAVIOUR_WINDOW_SECONDS = 24 * 3600.0
+
+#: A window counts as "adapted" when its compliance is within this
+#: absolute tolerance of the whole-phase level (or beyond it).
+ADAPTATION_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class AdaptationResult:
+    """Adaptation measurements for one bot under one deployment.
+
+    Attributes:
+        bot_name: the bot.
+        directive: directive measured.
+        discovery_lag_hours: deployment -> first robots.txt fetch;
+            ``None`` when the bot never fetched robots.txt in-phase.
+        behaviour_lag_hours: deployment -> first adapted window;
+            ``None`` when no window reached the phase level.
+        phase_compliance: whole-phase compliance ratio (context).
+    """
+
+    bot_name: str
+    directive: Directive
+    discovery_lag_hours: float | None
+    behaviour_lag_hours: float | None
+    phase_compliance: float
+
+    @property
+    def discovered(self) -> bool:
+        return self.discovery_lag_hours is not None
+
+    @property
+    def adapted(self) -> bool:
+        return self.behaviour_lag_hours is not None
+
+
+def discovery_lag(
+    records: list[LogRecord], deployment_epoch: float
+) -> float | None:
+    """Hours from deployment to the first robots.txt fetch."""
+    fetches = [
+        record.timestamp
+        for record in records
+        if record.is_robots_fetch and record.timestamp >= deployment_epoch
+    ]
+    if not fetches:
+        return None
+    return (min(fetches) - deployment_epoch) / 3600.0
+
+
+def behaviour_lag(
+    records: list[LogRecord],
+    deployment_epoch: float,
+    directive: Directive,
+    window_seconds: float = BEHAVIOUR_WINDOW_SECONDS,
+    tolerance: float = ADAPTATION_TOLERANCE,
+) -> tuple[float | None, float]:
+    """Hours to the first window whose compliance reaches phase level.
+
+    Returns ``(lag_hours_or_None, phase_compliance)``.  Windows with
+    fewer than 3 accesses are skipped (too noisy to call).
+    """
+    in_phase = sorted(
+        (record for record in records if record.timestamp >= deployment_epoch),
+        key=lambda record: record.timestamp,
+    )
+    if not in_phase:
+        return None, 0.0
+    phase_level = sample_for(directive, in_phase).proportion
+    window_start = deployment_epoch
+    end = in_phase[-1].timestamp
+    while window_start <= end:
+        window_records = [
+            record
+            for record in in_phase
+            if window_start <= record.timestamp < window_start + window_seconds
+        ]
+        if len(window_records) >= 3:
+            level = sample_for(directive, window_records).proportion
+            if level >= phase_level - tolerance:
+                return (window_start - deployment_epoch) / 3600.0, phase_level
+        window_start += window_seconds
+    return None, phase_level
+
+
+def adaptation_result(
+    bot_name: str,
+    records: list[LogRecord],
+    deployment_epoch: float,
+    directive: Directive,
+) -> AdaptationResult:
+    """Full adaptation measurement for one bot under one deployment."""
+    lag, phase_level = behaviour_lag(records, deployment_epoch, directive)
+    return AdaptationResult(
+        bot_name=bot_name,
+        directive=directive,
+        discovery_lag_hours=discovery_lag(records, deployment_epoch),
+        behaviour_lag_hours=lag,
+        phase_compliance=phase_level,
+    )
+
+
+def adaptation_by_bot(
+    directive_records: dict[Directive, dict[str, list[LogRecord]]],
+    deployments: dict[Directive, float],
+    min_accesses: int = 10,
+) -> dict[str, dict[Directive, AdaptationResult]]:
+    """Adaptation results for every bot x directive with enough data.
+
+    Args:
+        directive_records: directive -> (bot -> in-phase records).
+        deployments: directive -> deployment epoch.
+        min_accesses: floor below which a bot-window is skipped.
+    """
+    results: dict[str, dict[Directive, AdaptationResult]] = {}
+    for directive, by_bot in directive_records.items():
+        deployed = deployments[directive]
+        for bot_name, records in by_bot.items():
+            if len(records) < min_accesses:
+                continue
+            results.setdefault(bot_name, {})[directive] = adaptation_result(
+                bot_name, records, deployed, directive
+            )
+    return results

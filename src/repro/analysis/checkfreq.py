@@ -1,0 +1,166 @@
+"""robots.txt check-frequency analysis (§5.1: Table 7, Figure 10).
+
+Two questions:
+
+1. which bots skipped the robots.txt check entirely during one or more
+   experiment deployments while still (not) complying (Table 7);
+2. how often bots re-check robots.txt on sites with stable files —
+   measured by segmenting each bot's passive-site accesses into
+   windows of 12/24/48/72/168 hours from its first robots.txt fetch
+   and asking whether *every* window contains a fetch (Figure 10).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..logs.schema import LogRecord
+from ..uaparse.categories import BotCategory
+from ..uaparse.registry import default_registry
+from .compliance import Directive, checked_robots, sample_for
+
+#: Figure 10's window lengths, in hours.
+CHECK_WINDOWS_HOURS: tuple[int, ...] = (12, 24, 48, 72, 168)
+
+
+@dataclass(frozen=True)
+class SkippedCheckRow:
+    """One Table 7 row: a bot that skipped >= 1 robots.txt check.
+
+    ``checked`` and ``compliance`` are keyed by directive.
+    """
+
+    bot_name: str
+    checked: dict[Directive, bool]
+    compliance: dict[Directive, float]
+
+    @property
+    def skipped_any(self) -> bool:
+        return not all(self.checked.values())
+
+
+def skipped_check_rows(
+    directive_records: dict[Directive, dict[str, list[LogRecord]]],
+    min_accesses: int = 5,
+) -> list[SkippedCheckRow]:
+    """Table 7: bots that never fetched robots.txt during >= 1 window.
+
+    Args:
+        directive_records: directive -> (bot name -> records during
+            that deployment, experiment site only).
+        min_accesses: floor below which a bot-window is ignored.
+    """
+    bot_names: set[str] = set()
+    for grouped in directive_records.values():
+        bot_names.update(grouped)
+    rows: list[SkippedCheckRow] = []
+    for bot_name in sorted(bot_names):
+        checked: dict[Directive, bool] = {}
+        compliance: dict[Directive, float] = {}
+        eligible = True
+        for directive, grouped in directive_records.items():
+            records = grouped.get(bot_name, [])
+            if len(records) < min_accesses:
+                eligible = False
+                break
+            checked[directive] = checked_robots(records)
+            compliance[directive] = sample_for(directive, records).proportion
+        if not eligible:
+            continue
+        row = SkippedCheckRow(
+            bot_name=bot_name, checked=checked, compliance=compliance
+        )
+        if row.skipped_any:
+            rows.append(row)
+    return rows
+
+
+@dataclass(frozen=True)
+class RecheckResult:
+    """Re-check verdicts for one bot across window lengths.
+
+    ``within[h]`` is True when every h-hour window (from the bot's
+    first robots.txt fetch to the end of its observed activity)
+    contained at least one robots.txt fetch.
+    """
+
+    bot_name: str
+    category: BotCategory
+    within: dict[int, bool]
+    first_fetch: float | None
+
+
+def bot_recheck_result(
+    bot_name: str,
+    records: list[LogRecord],
+    windows_hours: tuple[int, ...] = CHECK_WINDOWS_HOURS,
+) -> RecheckResult:
+    """Windowed re-check analysis for one bot on the passive sites."""
+    registry_record = default_registry().get(bot_name)
+    category = (
+        registry_record.category if registry_record else BotCategory.OTHER
+    )
+    fetch_times = sorted(
+        record.timestamp for record in records if record.is_robots_fetch
+    )
+    if not fetch_times:
+        return RecheckResult(
+            bot_name=bot_name,
+            category=category,
+            within={hours: False for hours in windows_hours},
+            first_fetch=None,
+        )
+    activity_end = max(record.timestamp for record in records)
+    start = fetch_times[0]
+    within: dict[int, bool] = {}
+    for hours in windows_hours:
+        span = hours * 3600.0
+        verdict = True
+        window_start = start
+        while window_start < activity_end:
+            window_end = window_start + span
+            if not any(
+                window_start <= fetch < window_end for fetch in fetch_times
+            ):
+                verdict = False
+                break
+            window_start = window_end
+        within[hours] = verdict
+    return RecheckResult(
+        bot_name=bot_name, category=category, within=within, first_fetch=start
+    )
+
+
+def recheck_by_category(
+    records: list[LogRecord],
+    windows_hours: tuple[int, ...] = CHECK_WINDOWS_HOURS,
+    min_accesses: int = 5,
+) -> dict[BotCategory, dict[int, float]]:
+    """Figure 10: per category, the proportion of its bots that
+    re-check robots.txt within each window length.
+
+    Args:
+        records: passive-site records (fixed robots.txt sites).
+        min_accesses: bots with less traffic are skipped.
+    """
+    by_bot: defaultdict[str, list[LogRecord]] = defaultdict(list)
+    for record in records:
+        if record.bot_name is not None:
+            by_bot[record.bot_name].append(record)
+    results = [
+        bot_recheck_result(bot_name, bot_records, windows_hours)
+        for bot_name, bot_records in by_bot.items()
+        if len(bot_records) >= min_accesses
+    ]
+    categories: defaultdict[BotCategory, list[RecheckResult]] = defaultdict(list)
+    for result in results:
+        categories[result.category].append(result)
+    proportions: dict[BotCategory, dict[int, float]] = {}
+    for category, cat_results in categories.items():
+        proportions[category] = {
+            hours: sum(result.within[hours] for result in cat_results)
+            / len(cat_results)
+            for hours in windows_hours
+        }
+    return proportions

@@ -1,0 +1,131 @@
+"""Honeypot-based spoofing confirmation (the paper's §5.2 future work).
+
+The ASN-dominance heuristic cannot *prove* a minority-ASN request is a
+spoofer — "maybe Google contracts with Telefonica_de_Espana?".  The
+paper suggests honeypots as the stronger signal: paths that are
+disallowed by robots.txt and linked from nowhere.  A well-known,
+compliant bot has no reason to ever request one; an impersonator
+brute-forcing the URL space does.
+
+This module evaluates known-bot traffic against trap paths and
+combines the result with the heuristic's findings:
+
+- a *(bot, ASN)* pair that hit a trap **and** sits outside the bot's
+  dominant ASN is a **confirmed** spoof source;
+- a flagged pair that never touched a trap remains merely *suspected*;
+- trap hits **from the dominant ASN** are evidence the bot itself
+  misbehaves (or the heuristic mis-attributed the dominant network).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..logs.schema import LogRecord
+from .spoofing import SpoofFinding
+
+#: Path prefixes treated as honeypot traps.  ``/secure/`` paths exist,
+#: serve content, are disallowed by every robots.txt in the corpus,
+#: and are never linked from page content.
+TRAP_PREFIXES: tuple[str, ...] = ("/secure/",)
+
+
+def is_trap_path(path: str) -> bool:
+    """Whether ``path`` targets a honeypot trap."""
+    question = path.find("?")
+    if question >= 0:
+        path = path[:question]
+    return any(path.startswith(prefix) for prefix in TRAP_PREFIXES)
+
+
+@dataclass
+class TrapHits:
+    """Trap-path accesses for one bot, broken down by ASN."""
+
+    bot_name: str
+    by_asn: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_asn.values())
+
+
+def trap_hits(records: Iterable[LogRecord]) -> dict[str, TrapHits]:
+    """Count trap accesses per known bot and ASN."""
+    hits: dict[str, TrapHits] = {}
+    for record in records:
+        if record.bot_name is None or not is_trap_path(record.uri_path):
+            continue
+        entry = hits.setdefault(record.bot_name, TrapHits(bot_name=record.bot_name))
+        entry.by_asn[record.asn] = entry.by_asn.get(record.asn, 0) + 1
+    return hits
+
+
+@dataclass(frozen=True)
+class HoneypotVerdict:
+    """Honeypot evaluation of one heuristically flagged bot.
+
+    Attributes:
+        bot_name: the flagged bot.
+        confirmed_asns: minority ASNs that hit traps — confirmed
+            spoof sources.
+        suspected_asns: minority ASNs flagged by the heuristic that
+            never touched a trap (still only suspected).
+        dominant_trap_hits: trap hits from the *dominant* ASN, i.e.
+            misbehaviour not attributable to spoofing.
+    """
+
+    bot_name: str
+    confirmed_asns: tuple[int, ...]
+    suspected_asns: tuple[int, ...]
+    dominant_trap_hits: int
+
+    @property
+    def confirmed(self) -> bool:
+        return bool(self.confirmed_asns)
+
+
+def confirm_spoofers(
+    records: Iterable[LogRecord],
+    findings: dict[str, SpoofFinding],
+) -> dict[str, HoneypotVerdict]:
+    """Cross-check every heuristic finding against trap-path hits.
+
+    Args:
+        records: enriched log records (any window).
+        findings: output of
+            :func:`repro.analysis.spoofing.find_spoofed_bots`.
+
+    Returns:
+        bot name -> verdict, for every flagged bot.
+    """
+    hits = trap_hits(records)
+    verdicts: dict[str, HoneypotVerdict] = {}
+    for bot_name, finding in findings.items():
+        bot_hits = hits.get(bot_name)
+        asn_hits = bot_hits.by_asn if bot_hits else {}
+        confirmed = tuple(
+            sorted(asn for asn in finding.suspicious_asns if asn_hits.get(asn))
+        )
+        suspected = tuple(
+            sorted(
+                asn for asn in finding.suspicious_asns if not asn_hits.get(asn)
+            )
+        )
+        verdicts[bot_name] = HoneypotVerdict(
+            bot_name=bot_name,
+            confirmed_asns=confirmed,
+            suspected_asns=suspected,
+            dominant_trap_hits=asn_hits.get(finding.main_asn, 0),
+        )
+    return verdicts
+
+
+def confirmation_rate(verdicts: dict[str, HoneypotVerdict]) -> float:
+    """Fraction of flagged bots with at least one confirmed spoof ASN."""
+    if not verdicts:
+        return 0.0
+    confirmed = sum(1 for verdict in verdicts.values() if verdict.confirmed)
+    return confirmed / len(verdicts)

@@ -1,0 +1,169 @@
+"""Dataset-overview statistics (§3.2: Tables 2-3, Figures 2-4).
+
+These analyses run on the sessionized 40-day window and describe the
+shape of scraper traffic independent of the robots.txt experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from ..logs.schema import LogRecord
+from ..logs.sessionize import Session, sessionize, sessions_by_category
+from ..uaparse.categories import BotCategory
+from .compliance import Directive  # noqa: F401  (re-exported convenience)
+
+
+@dataclass(frozen=True)
+class DatasetOverview:
+    """One row of Table 2.
+
+    Attributes mirror the table's columns exactly.
+    """
+
+    unique_ip_hashes: int
+    unique_user_agents: int
+    avg_bytes_per_session: float
+    unique_asns: int
+    total_bytes: int
+    total_page_visits: int
+    unique_page_visits: int
+
+
+def overview_row(records: list[LogRecord], sessions: list[Session] | None = None) -> DatasetOverview:
+    """Compute one Table 2 row over ``records``.
+
+    ``total_page_visits`` counts sessionized rows (the paper's
+    761,956) and ``unique_page_visits`` counts distinct
+    (sitename, path) resources.
+    """
+    if sessions is None:
+        sessions = sessionize(records)
+    total_bytes = sum(record.bytes_sent for record in records)
+    unique_pages = {(record.sitename, record.uri_path) for record in records}
+    return DatasetOverview(
+        unique_ip_hashes=len({record.ip_hash for record in records}),
+        unique_user_agents=len({record.useragent for record in records}),
+        avg_bytes_per_session=total_bytes / len(sessions) if sessions else 0.0,
+        unique_asns=len({record.asn for record in records}),
+        total_bytes=total_bytes,
+        total_page_visits=len(sessions),
+        unique_page_visits=len(unique_pages),
+    )
+
+
+def dataset_overview(
+    records: list[LogRecord],
+) -> dict[str, DatasetOverview]:
+    """Table 2: the "All data" and "Known bots" rows."""
+    known = [record for record in records if record.bot_name is not None]
+    return {
+        "All data": overview_row(records),
+        "Known bots": overview_row(known),
+    }
+
+
+@dataclass(frozen=True)
+class BotActivity:
+    """One row of Table 3 (a top-20 bot).
+
+    Attributes:
+        bot_name: standardized name.
+        hits: sessionized page visits attributed to the bot.
+        traffic_share: hits as a fraction of all sessionized visits.
+        gigabytes: data scraped during the window.
+    """
+
+    bot_name: str
+    hits: int
+    traffic_share: float
+    gigabytes: float
+
+
+def top_bots(
+    records: list[LogRecord], count: int = 20
+) -> list[BotActivity]:
+    """Table 3: the most active known bots by web accesses.
+
+    "Hits" counts the bot's web accesses ("the number of unique web
+    accesses for each bot"), and the traffic share is normalized
+    against all accesses in the window.
+    """
+    total = len(records)
+    hits: Counter[str] = Counter()
+    scraped: defaultdict[str, int] = defaultdict(int)
+    for record in records:
+        if record.bot_name is None:
+            continue
+        hits[record.bot_name] += 1
+        scraped[record.bot_name] += record.bytes_sent
+    activity = [
+        BotActivity(
+            bot_name=name,
+            hits=bot_hits,
+            traffic_share=bot_hits / total if total else 0.0,
+            gigabytes=scraped[name] / 1e9,
+        )
+        for name, bot_hits in hits.items()
+    ]
+    activity.sort(key=lambda row: row.hits, reverse=True)
+    return activity[:count]
+
+
+def category_session_counts(
+    records: list[LogRecord],
+) -> dict[BotCategory, int]:
+    """Figure 2: total sessions per bot category (log-scaled in the
+    paper's plot; raw counts here)."""
+    sessions = sessionize(records)
+    grouped = sessions_by_category(sessions)
+    return {
+        category: len(category_sessions)
+        for category, category_sessions in grouped.items()
+    }
+
+
+def daily_sessions_by_category(
+    records: list[LogRecord], top: int = 5
+) -> dict[BotCategory, dict[str, int]]:
+    """Figure 4: sessions per day for the top categories by volume."""
+    from ..logs.sessionize import sessions_per_day
+
+    sessions = sessionize(records)
+    grouped = sessions_by_category(sessions)
+    ranked = sorted(grouped, key=lambda category: len(grouped[category]), reverse=True)
+    return {
+        category: sessions_per_day(grouped[category]) for category in ranked[:top]
+    }
+
+
+def bytes_cdf_by_category(
+    records: list[LogRecord], top: int = 5
+) -> dict[BotCategory, list[tuple[str, float]]]:
+    """Figure 3: cumulative fraction of bytes downloaded over time.
+
+    For each of the top categories by bytes, returns a day-ordered
+    series of (ISO day, cumulative fraction of the category's total).
+    """
+    from ..simulation.clock import iso_day
+
+    by_category_day: dict[BotCategory, Counter[str]] = defaultdict(Counter)
+    totals: Counter[BotCategory] = Counter()
+    for record in records:
+        if record.bot_category is None:
+            continue
+        day = iso_day(record.timestamp)
+        by_category_day[record.bot_category][day] += record.bytes_sent
+        totals[record.bot_category] += record.bytes_sent
+    ranked = [category for category, _ in totals.most_common(top)]
+    series: dict[BotCategory, list[tuple[str, float]]] = {}
+    for category in ranked:
+        running = 0
+        total = totals[category] or 1
+        points: list[tuple[str, float]] = []
+        for day in sorted(by_category_day[category]):
+            running += by_category_day[category][day]
+            points.append((day, running / total))
+        series[category] = points
+    return series

@@ -1,0 +1,207 @@
+"""Per-bot compliance comparison: baseline vs each directive (§4.3).
+
+Produces the substance of the paper's Figure 9 (compliance shifts with
+significance flags), Table 6 (per-bot directive compliance) and
+Table 10 (z-scores / p-values).  Filtering mirrors §4.1's data
+preparation: bots with fewer than 5 accesses under a robots.txt
+version are dropped, exempted SEO bots are excluded, and traffic
+flagged as spoofed is analyzed separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logs.preprocess import records_by_bot
+from ..logs.schema import LogRecord
+from ..robots.corpus import EXEMPT_SEO_BOTS
+from .compliance import Directive, checked_robots, sample_for
+from .spoofing import SpoofFinding, partition_records
+from .stats import INVALID_TEST, ProportionSample, ZTestResult, two_proportion_z_test
+
+#: The paper's minimum-access filter (§4.1).
+MIN_ACCESSES = 5
+
+
+def exempt_canonical_names() -> frozenset[str]:
+    """Canonical bot names whose robots token is SEO-exempted.
+
+    A bot is exempt when its product token prefix-matches one of the
+    eight exempted group tokens (so ``Googlebot-Image`` is exempt via
+    the ``Googlebot`` group).  ``Yandex.com/bots`` is *not* exempt: the
+    institution's ``Yandexbot`` token does not prefix-match it, which
+    is why Yandex appears in the paper's Table 6.
+    """
+    from ..bots.profiles import build_profiles
+
+    exempt: set[str] = set()
+    tokens = tuple(token.lower() for token in EXEMPT_SEO_BOTS)
+    for profile in build_profiles():
+        token = profile.robots_token.lower()
+        if any(token == t or token.startswith(t) for t in tokens):
+            exempt.add(profile.name)
+    return frozenset(exempt)
+
+
+@dataclass(frozen=True)
+class BotDirectiveResult:
+    """One bot x directive comparison.
+
+    Attributes:
+        bot_name: standardized bot name.
+        directive: which directive was measured.
+        baseline: counts under the default robots.txt.
+        treatment: counts under the directive deployment.
+        test: z-test over the two samples.
+        checked_robots: did the bot fetch robots.txt during the
+            directive window (Table 7's "Checked" column)?
+    """
+
+    bot_name: str
+    directive: Directive
+    baseline: ProportionSample
+    treatment: ProportionSample
+    test: ZTestResult
+    checked_robots: bool
+
+    @property
+    def baseline_ratio(self) -> float:
+        return self.baseline.proportion
+
+    @property
+    def treatment_ratio(self) -> float:
+        return self.treatment.proportion
+
+    @property
+    def shift(self) -> float:
+        return self.treatment_ratio - self.baseline_ratio
+
+
+def compare_bot(
+    bot_name: str,
+    directive: Directive,
+    baseline_records: list[LogRecord],
+    treatment_records: list[LogRecord],
+) -> BotDirectiveResult:
+    """Measure one bot's compliance shift for one directive."""
+    baseline = sample_for(directive, baseline_records)
+    treatment = sample_for(directive, treatment_records)
+    test = (
+        two_proportion_z_test(baseline, treatment)
+        if baseline.trials and treatment.trials
+        else INVALID_TEST
+    )
+    return BotDirectiveResult(
+        bot_name=bot_name,
+        directive=directive,
+        baseline=baseline,
+        treatment=treatment,
+        test=test,
+        checked_robots=checked_robots(treatment_records),
+    )
+
+
+def per_bot_results(
+    baseline_records: list[LogRecord],
+    directive_records: dict[Directive, list[LogRecord]],
+    exclude_exempt: bool = True,
+    exclude_spoofed: bool = True,
+    spoof_findings: dict[str, SpoofFinding] | None = None,
+    min_accesses: int = MIN_ACCESSES,
+) -> dict[str, dict[Directive, BotDirectiveResult]]:
+    """Full per-bot analysis across all directives.
+
+    Args:
+        baseline_records: experiment-site records under the base file.
+        directive_records: directive -> experiment-site records during
+            that deployment.
+        exclude_exempt: drop the SEO-exempted bots (paper default).
+        exclude_spoofed: strip traffic flagged by the spoofing
+            heuristic before measuring (paper default).
+        spoof_findings: precomputed findings; required when
+            ``exclude_spoofed`` is set and you want reproducible
+            exclusion (computed from the union of all windows
+            otherwise).
+        min_accesses: drop bots below this access count in a window.
+
+    Returns:
+        bot name -> directive -> result, for bots passing the filters
+        under *every* directive (matching the paper's "bots with >= 5
+        accesses under each directive" framing for Figure 9/Table 6).
+    """
+    exempt = exempt_canonical_names() if exclude_exempt else frozenset()
+
+    if exclude_spoofed and spoof_findings is None:
+        from .spoofing import find_spoofed_bots
+
+        union: list[LogRecord] = list(baseline_records)
+        for records in directive_records.values():
+            union.extend(records)
+        spoof_findings = find_spoofed_bots(union)
+
+    def clean(records: list[LogRecord]) -> dict[str, list[LogRecord]]:
+        grouped = records_by_bot(records)
+        if exclude_spoofed and spoof_findings:
+            partitions = partition_records(records, spoof_findings)
+            for name, partition in partitions.items():
+                grouped[name] = partition.legitimate
+        return {
+            name: bot_records
+            for name, bot_records in grouped.items()
+            if name not in exempt
+        }
+
+    baseline_by_bot = clean(baseline_records)
+    directive_by_bot = {
+        directive: clean(records)
+        for directive, records in directive_records.items()
+    }
+
+    results: dict[str, dict[Directive, BotDirectiveResult]] = {}
+    for bot_name, bot_baseline in baseline_by_bot.items():
+        if len(bot_baseline) < min_accesses:
+            continue
+        windows = {
+            directive: grouped.get(bot_name, [])
+            for directive, grouped in directive_by_bot.items()
+        }
+        if any(len(records) < min_accesses for records in windows.values()):
+            continue
+        results[bot_name] = {
+            directive: compare_bot(bot_name, directive, bot_baseline, records)
+            for directive, records in windows.items()
+        }
+    return results
+
+
+def spoofed_bot_results(
+    baseline_records: list[LogRecord],
+    directive_records: dict[Directive, list[LogRecord]],
+    spoof_findings: dict[str, SpoofFinding],
+    min_accesses: int = 3,
+) -> dict[str, dict[Directive, BotDirectiveResult]]:
+    """Figure 11's parallel analysis over the *spoofed* subsets.
+
+    A lower access floor applies: spoofed traffic is sparse by nature.
+    """
+    baseline_parts = partition_records(baseline_records, spoof_findings)
+    directive_parts = {
+        directive: partition_records(records, spoof_findings)
+        for directive, records in directive_records.items()
+    }
+    results: dict[str, dict[Directive, BotDirectiveResult]] = {}
+    for bot_name in spoof_findings:
+        baseline_spoofed = (
+            baseline_parts[bot_name].spoofed if bot_name in baseline_parts else []
+        )
+        per_directive: dict[Directive, BotDirectiveResult] = {}
+        for directive, parts in directive_parts.items():
+            spoofed = parts[bot_name].spoofed if bot_name in parts else []
+            if len(spoofed) < min_accesses:
+                continue
+            per_directive[directive] = compare_bot(
+                bot_name, directive, baseline_spoofed, spoofed
+            )
+        if per_directive:
+            results[bot_name] = per_directive
+    return results

@@ -1,0 +1,144 @@
+"""User-agent spoofing detection via ASN dominance (§5.2).
+
+Empirically, a well-known bot's traffic comes overwhelmingly from one
+autonomous system.  The paper's heuristic: if >= 90 % of a bot's
+traffic originates from a single ASN and the bot is seen on more than
+one ASN, requests from the minority ASNs are flagged as possibly
+spoofed.  Flagged traffic is excluded from the main per-bot compliance
+analysis and studied separately (Tables 8-9, Figure 11).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..logs.schema import LogRecord
+
+#: The paper's dominance threshold.
+DEFAULT_DOMINANCE_THRESHOLD = 0.90
+
+
+@dataclass(frozen=True)
+class SpoofFinding:
+    """Spoofing assessment for one bot.
+
+    Attributes:
+        bot_name: standardized bot name.
+        main_asn: the dominant ASN number.
+        main_asn_name: its registry handle (from enrichment).
+        main_share: fraction of traffic from the dominant ASN.
+        suspicious_asns: minority ASN numbers (possible spoofers).
+        suspicious_asn_names: their handles, same order.
+        total_records: the bot's total accesses examined.
+        spoofed_records: accesses from suspicious ASNs.
+    """
+
+    bot_name: str
+    main_asn: int
+    main_asn_name: str
+    main_share: float
+    suspicious_asns: tuple[int, ...]
+    suspicious_asn_names: tuple[str, ...]
+    total_records: int
+    spoofed_records: int
+
+    @property
+    def flagged(self) -> bool:
+        """True when the heuristic marks this bot as possibly spoofed."""
+        return bool(self.suspicious_asns)
+
+
+@dataclass
+class SpoofPartition:
+    """Per-bot record split into legitimate vs possibly-spoofed."""
+
+    legitimate: list[LogRecord] = field(default_factory=list)
+    spoofed: list[LogRecord] = field(default_factory=list)
+
+
+def analyze_bot_asns(
+    bot_name: str,
+    records: list[LogRecord],
+    threshold: float = DEFAULT_DOMINANCE_THRESHOLD,
+) -> SpoofFinding | None:
+    """Apply the dominance heuristic to one bot's records.
+
+    Returns ``None`` when the bot has no traffic.  A finding with an
+    empty ``suspicious_asns`` means the bot is single-ASN or below the
+    dominance threshold (not flagged).
+    """
+    if not records:
+        return None
+    counts: Counter[int] = Counter(record.asn for record in records)
+    names: dict[int, str] = {}
+    for record in records:
+        names.setdefault(record.asn, record.asn_name or f"AS{record.asn}")
+    main_asn, main_count = counts.most_common(1)[0]
+    total = sum(counts.values())
+    share = main_count / total
+    if share >= threshold and len(counts) > 1:
+        suspicious = tuple(sorted(asn for asn in counts if asn != main_asn))
+    else:
+        suspicious = ()
+    return SpoofFinding(
+        bot_name=bot_name,
+        main_asn=main_asn,
+        main_asn_name=names[main_asn],
+        main_share=share,
+        suspicious_asns=suspicious,
+        suspicious_asn_names=tuple(names[asn] for asn in suspicious),
+        total_records=total,
+        spoofed_records=sum(counts[asn] for asn in suspicious),
+    )
+
+
+def find_spoofed_bots(
+    records: Iterable[LogRecord],
+    threshold: float = DEFAULT_DOMINANCE_THRESHOLD,
+) -> dict[str, SpoofFinding]:
+    """Run the heuristic over every known bot in ``records``.
+
+    Returns findings only for *flagged* bots (Table 8's population).
+    """
+    by_bot: defaultdict[str, list[LogRecord]] = defaultdict(list)
+    for record in records:
+        if record.bot_name is not None:
+            by_bot[record.bot_name].append(record)
+    findings: dict[str, SpoofFinding] = {}
+    for bot_name, bot_records in by_bot.items():
+        finding = analyze_bot_asns(bot_name, bot_records, threshold)
+        if finding is not None and finding.flagged:
+            findings[bot_name] = finding
+    return findings
+
+
+def partition_records(
+    records: Iterable[LogRecord],
+    findings: dict[str, SpoofFinding],
+) -> dict[str, SpoofPartition]:
+    """Split each bot's records into legitimate vs spoofed subsets.
+
+    Bots without a finding have everything in ``legitimate``.
+    """
+    partitions: defaultdict[str, SpoofPartition] = defaultdict(SpoofPartition)
+    for record in records:
+        if record.bot_name is None:
+            continue
+        finding = findings.get(record.bot_name)
+        partition = partitions[record.bot_name]
+        if finding is not None and record.asn in finding.suspicious_asns:
+            partition.spoofed.append(record)
+        else:
+            partition.legitimate.append(record)
+    return dict(partitions)
+
+
+def spoofed_request_counts(
+    partitions: dict[str, SpoofPartition],
+) -> tuple[int, int]:
+    """(legitimate, spoofed) totals across all bots (Table 9 cells)."""
+    legitimate = sum(len(part.legitimate) for part in partitions.values())
+    spoofed = sum(len(part.spoofed) for part in partitions.values())
+    return legitimate, spoofed

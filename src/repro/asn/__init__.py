@@ -1,0 +1,12 @@
+"""ASN / whois substrate: static registry plus enrichment client."""
+
+from .database import AsnInfo, AsnRegistry, default_asn_registry
+from .whois import WhoisClient, WhoisResult
+
+__all__ = [
+    "AsnInfo",
+    "AsnRegistry",
+    "WhoisClient",
+    "WhoisResult",
+    "default_asn_registry",
+]

@@ -1,0 +1,27 @@
+"""Bot population: behaviour model, calibrated profiles, agents."""
+
+from .agent import BotAgent, agent_seed
+from .behavior import BotProfile, CheckPolicy, ComplianceProfile, NEVER_CHECKS
+from .profiles import build_profiles, paper_profiles, profile_by_name
+from .spoofer import (
+    SPOOF_COMPLIANCE_OVERRIDES,
+    SPOOF_DEFAULT_COMPLIANCE,
+    build_spoof_agents,
+    spoof_compliance_for,
+)
+
+__all__ = [
+    "BotAgent",
+    "BotProfile",
+    "CheckPolicy",
+    "ComplianceProfile",
+    "NEVER_CHECKS",
+    "SPOOF_COMPLIANCE_OVERRIDES",
+    "SPOOF_DEFAULT_COMPLIANCE",
+    "agent_seed",
+    "build_profiles",
+    "build_spoof_agents",
+    "paper_profiles",
+    "profile_by_name",
+    "spoof_compliance_for",
+]

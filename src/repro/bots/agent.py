@@ -1,0 +1,328 @@
+"""Crawler agent: turns a :class:`BotProfile` into simulated traffic.
+
+Each agent owns a private RNG stream (derived from the scenario seed
+and its own name, so results are independent of agent iteration
+order), a pool of source IPs, and per-site robots.txt state.  During a
+session the agent:
+
+1. decides whether a robots.txt check is due (per its
+   :class:`~repro.bots.behavior.CheckPolicy`) and, if so, fetches and
+   parses the file through the real engine
+   (:func:`repro.robots.fetchstate.resolve_fetch`);
+2. emits page requests whose *targets* and *inter-access deltas*
+   follow the profile's calibrated compliance parameters for the
+   robots.txt version in force on that site at that time;
+3. honours the crawl delay advertised by its cached policy when its
+   compliance draw says to comply.
+
+The generated traffic therefore measures back (via the analysis
+pipeline) to the per-bot ratios in the paper's Table 6.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..robots.corpus import EXEMPT_SEO_BOTS, RobotsVersion, V1_CRAWL_DELAY_SECONDS
+from ..robots.fetchstate import resolve_fetch
+from ..robots.policy import RobotsPolicy
+from ..web.message import Request
+from ..web.server import WebServer
+from ..web.site import ROBOTS_PATH, Website
+from .behavior import BotProfile, ComplianceProfile
+from ..simulation.clock import SECONDS_PER_DAY, epoch, iso_day
+from ..simulation.iphash import generate_ip_pool
+from ..simulation.scenario import StudyScenario
+
+
+def agent_seed(master_seed: int, name: str) -> int:
+    """Stable per-agent sub-seed (independent of iteration order)."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _is_exempt(robots_token: str) -> bool:
+    """Does the token prefix-match one of the exempted SEO groups?"""
+    token = robots_token.lower()
+    return any(
+        token == exempt.lower() or token.startswith(exempt.lower())
+        for exempt in EXEMPT_SEO_BOTS
+    )
+
+
+@dataclass
+class _SiteRobotsState:
+    """Per-origin robots.txt bookkeeping."""
+
+    last_check: float | None = None
+    policy: RobotsPolicy | None = None
+
+
+@dataclass
+class BotAgent:
+    """One traffic-generating bot instance.
+
+    Attributes:
+        profile: the behavioural calibration.
+        scenario: the study calendar (phases, scale, seed).
+        server: the web substrate all requests flow through.
+        asn: ASN this instance emits from (the profile's home ASN for
+            the genuine bot; a spoof ASN for spoofed instances).
+        compliance_override: replaces the profile's compliance for
+            spoofed instances.
+        suffix: distinguishes the RNG stream of spoofed instances.
+    """
+
+    profile: BotProfile
+    scenario: StudyScenario
+    server: WebServer
+    asn: int | None = None
+    compliance_override: ComplianceProfile | None = None
+    suffix: str = ""
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(
+            agent_seed(self.scenario.seed, self.profile.name + self.suffix)
+        )
+        self._asn = self.asn if self.asn is not None else self.profile.home_asn
+        self._compliance = (
+            self.compliance_override
+            if self.compliance_override is not None
+            else self.profile.compliance
+        )
+        self._ips = generate_ip_pool(self._rng, self.profile.ip_count)
+        self._robots: dict[str, _SiteRobotsState] = {}
+        self._exempt = _is_exempt(self.profile.robots_token)
+        self._weights_cache: dict[tuple[str, bool], tuple[list[str], "np.ndarray"]] = {}
+        self.requests_emitted = 0
+
+    # -- public API -------------------------------------------------------
+
+    def emit_day(self, day_start: float, volume_factor: float = 1.0) -> None:
+        """Generate this agent's traffic for one simulated day."""
+        rate = (
+            self.profile.sessions_per_day
+            * self.scenario.scale
+            * self._burst_multiplier(day_start)
+            * volume_factor
+        )
+        n_sessions = int(self._rng.poisson(rate))
+        for _ in range(n_sessions):
+            start = day_start + float(self._rng.uniform(0.0, SECONDS_PER_DAY))
+            self._run_session(start)
+
+    # -- session mechanics ----------------------------------------------
+
+    def _run_session(self, start: float) -> None:
+        site = self._choose_site()
+        if site is None:
+            return
+        now = start
+        ip = self._ips[int(self._rng.integers(0, len(self._ips)))]
+        if self._check_due(site.hostname, now):
+            self._fetch_robots(site, now, ip)
+            now += float(self._rng.uniform(0.5, 3.0))
+        n_pages = int(self._rng.geometric(1.0 / max(self.profile.session_length_mean, 1.0)))
+        version = self._version_for(site, now)
+        delay_q = self._delay_compliance_q(version)
+        for index in range(n_pages):
+            path = self._choose_path(site, version, now)
+            if path == ROBOTS_PATH:
+                self._fetch_robots(site, now, ip)
+            else:
+                self._request(site, path, now, ip)
+            if index + 1 < n_pages:
+                now += self._next_delta(site, version, delay_q)
+                version = self._version_for(site, now)
+
+    def _choose_site(self) -> Website | None:
+        sites = self.server.sites
+        if not sites:
+            return None
+        experiment = sites.get(self.scenario.experiment_site)
+        if experiment is not None and (
+            self._rng.random() < self.profile.experiment_site_share
+        ):
+            return experiment
+        hostnames = [
+            name for name in sites if name != self.scenario.experiment_site
+        ] or list(sites)
+        return sites[hostnames[int(self._rng.integers(0, len(hostnames)))]]
+
+    def _version_for(self, site: Website, now: float) -> RobotsVersion:
+        """The robots.txt regime governing behaviour at this site/time.
+
+        Only the experiment site rotates versions; exempted SEO bots
+        behave as under the base file everywhere (their group grants
+        base-level access in v2/v3).
+        """
+        if site.hostname != self.scenario.experiment_site or self._exempt:
+            return RobotsVersion.BASE
+        return self.scenario.version_at(now)
+
+    # -- robots.txt interaction ---------------------------------------------
+
+    def _check_due(self, hostname: str, now: float) -> bool:
+        policy = self.profile.check
+        if policy.never_checks:
+            return False
+        state = self._robots.setdefault(hostname, _SiteRobotsState())
+        interval = policy.interval_seconds()
+        assert interval is not None
+        if state.last_check is not None:
+            jitter = float(self._rng.uniform(0.85, 1.15))
+            if now - state.last_check < interval * jitter:
+                return False
+        return self._rng.random() < policy.reliability
+
+    def _fetch_robots(self, site: Website, now: float, ip: str) -> None:
+        """Fetch, parse and cache robots.txt via the real engine."""
+        request = Request(
+            host=site.hostname,
+            path=ROBOTS_PATH,
+            user_agent=self.profile.user_agent,
+            client_ip=ip,
+            asn=self._asn,
+            timestamp=now,
+        )
+        response = self.server.handle(request)
+        self.requests_emitted += 1
+        state = self._robots.setdefault(site.hostname, _SiteRobotsState())
+        state.last_check = now
+        state.policy = resolve_fetch(response.status, response.body or b"").policy
+
+    def _advertised_delay(self, site: Website) -> float | None:
+        """Crawl delay the bot believes applies (from its cached policy)."""
+        state = self._robots.get(site.hostname)
+        if state is None or state.policy is None:
+            return None
+        return state.policy.crawl_delay(self.profile.robots_token)
+
+    # -- target / delta generation --------------------------------------------
+
+    def _delay_compliance_q(self, version: RobotsVersion) -> float:
+        """Within-session probability of a >= 30 s delta."""
+        target = (
+            self._compliance.v1_delay_p
+            if version is RobotsVersion.V1_CRAWL_DELAY
+            else self._compliance.base_delay_p
+        )
+        return self.profile.within_session_delay_p(target)
+
+    def _next_delta(
+        self, site: Website, version: RobotsVersion, delay_q: float
+    ) -> float:
+        if self._rng.random() < delay_q:
+            floor = self._advertised_delay(site) or V1_CRAWL_DELAY_SECONDS
+            delta = floor + float(self._rng.exponential(25.0))
+        else:
+            natural = float(
+                self._rng.lognormal(np.log(self.profile.inter_access_mean), 0.6)
+            )
+            delta = min(natural, 29.0)
+        return max(0.4, min(delta, 290.0))
+
+    def _choose_path(
+        self, site: Website, version: RobotsVersion, now: float
+    ) -> str:
+        """Pick the next target according to the calibrated compliance."""
+        compliance = self._compliance
+        if self.profile.trap_probe_rate > 0 and (
+            self._rng.random() < self.profile.trap_probe_rate
+        ):
+            traps = site.paths_in_section("secure")
+            if traps:
+                return traps[int(self._rng.integers(0, len(traps)))]
+        if version is RobotsVersion.V3_DISALLOW_ALL:
+            if self._rng.random() < compliance.v3_robots_share:
+                return ROBOTS_PATH
+            return self._content_path(site)
+        if version is RobotsVersion.V2_ENDPOINT:
+            if self._rng.random() < compliance.v2_endpoint_p:
+                return self._page_data_path(site)
+            return self._content_path(site, exclude_page_data=True)
+        # Base and v1 regimes share the baseline target mix.
+        roll = self._rng.random()
+        if roll < compliance.base_robots_share:
+            return ROBOTS_PATH
+        if roll < compliance.base_robots_share + compliance.base_endpoint_p:
+            return self._page_data_path(site)
+        return self._content_path(site, exclude_page_data=True)
+
+    def _content_path(self, site: Website, exclude_page_data: bool = False) -> str:
+        """Interest-weighted draw over the site's content sections."""
+        key = (site.hostname, exclude_page_data)
+        cached = self._weights_cache.get(key)
+        if cached is None:
+            sections = self._section_weights(site, exclude_page_data)
+            if not sections:
+                cached = ([], np.zeros(0))
+            else:
+                names = list(sections)
+                weights = np.fromiter(sections.values(), dtype=float)
+                cached = (names, weights / weights.sum())
+            self._weights_cache[key] = cached
+        names, weights = cached
+        if not names:
+            return "/"
+        section = names[int(self._rng.choice(len(names), p=weights))]
+        paths = site.paths_in_section(section)
+        if not paths:
+            return "/"
+        return paths[int(self._rng.integers(0, len(paths)))]
+
+    def _page_data_path(self, site: Website) -> str:
+        paths = site.paths_in_section("page-data")
+        if not paths:
+            return ROBOTS_PATH
+        return paths[int(self._rng.integers(0, len(paths)))]
+
+    def _section_weights(
+        self, site: Website, exclude_page_data: bool
+    ) -> dict[str, float]:
+        weights: dict[str, float] = {}
+        for section in site.section_index():
+            if section in ("meta", "secure"):
+                continue  # disallowed even by the base file; bots avoid
+            if exclude_page_data and section == "page-data":
+                continue
+            weights[section] = self.profile.interests.get(section, 1.0)
+        if not exclude_page_data and "page-data" in weights:
+            # Without an explicit interest, page-data draws happen via
+            # the endpoint-share parameter, not the content mix.
+            if "page-data" not in self.profile.interests:
+                weights.pop("page-data")
+        return weights
+
+    def _request(self, site: Website, path: str, now: float, ip: str) -> None:
+        request = Request(
+            host=site.hostname,
+            path=path,
+            user_agent=self.profile.user_agent,
+            client_ip=ip,
+            asn=self._asn,
+            timestamp=now,
+        )
+        self.server.handle(request)
+        self.requests_emitted += 1
+
+    def _burst_multiplier(self, day_start: float) -> float:
+        if self.profile.burst is None:
+            return 1.0
+        start_day, end_day, multiplier = self.profile.burst
+        if epoch(start_day) <= day_start < epoch(end_day):
+            return multiplier
+        return 1.0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def ip_pool(self) -> list[str]:
+        return list(self._ips)
+
+    @property
+    def effective_asn(self) -> int:
+        return self._asn

@@ -1,0 +1,164 @@
+"""Behavioral parameter model for simulated bots.
+
+A bot's *behavior profile* captures everything the simulation needs to
+generate its traffic: volume, session shape, which networks it calls
+home, how often it re-reads robots.txt, and — the heart of the
+reproduction — its per-directive compliance targets, calibrated from
+the paper's Table 6.
+
+The compliance fields are expressed in the same units the paper's
+metrics measure (§4.2):
+
+- *delay*: fraction of successive-access time deltas >= 30 s;
+- *endpoint*: fraction of accesses to ``/page-data`` or robots.txt;
+- *robots share*: fraction of accesses that fetch robots.txt.
+
+Each has a ``base_*`` (behaviour under the permissive baseline file)
+and a directive value (behaviour while v1/v2/v3 is deployed), so the
+paired z-test in the analysis re-derives the paper's significance
+calls from generated data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..uaparse.categories import BotCategory, RobotsPromise
+
+
+@dataclass(frozen=True)
+class ComplianceProfile:
+    """Per-directive compliance targets (paper Table 6 calibration).
+
+    All values are probabilities in [0, 1].
+    """
+
+    base_delay_p: float
+    v1_delay_p: float
+    base_endpoint_p: float
+    v2_endpoint_p: float
+    base_robots_share: float
+    v3_robots_share: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "base_delay_p",
+            "v1_delay_p",
+            "base_endpoint_p",
+            "v2_endpoint_p",
+            "base_robots_share",
+            "v3_robots_share",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class CheckPolicy:
+    """How a bot re-reads robots.txt.
+
+    Attributes:
+        interval_hours: nominal re-check period per origin; ``None``
+            means the bot never requests robots.txt (Table 7's
+            "Checked robots.txt: No" bots).
+        reliability: probability that a due check actually happens —
+            models bots that check only sometimes (e.g. DuckDuckBot,
+            which checked during two of the three experiments).
+    """
+
+    interval_hours: float | None
+    reliability: float = 1.0
+
+    @property
+    def never_checks(self) -> bool:
+        return self.interval_hours is None
+
+    def interval_seconds(self) -> float | None:
+        if self.interval_hours is None:
+            return None
+        return self.interval_hours * 3600.0
+
+
+#: Convenience constants for common check behaviours.
+NEVER_CHECKS = CheckPolicy(interval_hours=None)
+
+
+@dataclass(frozen=True)
+class BotProfile:
+    """Complete behavioural description of one simulated bot.
+
+    Attributes:
+        name: canonical bot name (must exist in the UA registry).
+        user_agent: full User-Agent header the bot sends.
+        robots_token: product token the bot matches against
+            robots.txt groups (RFC 9309 user-agent line matching).
+        category: Dark Visitors category.
+        entity: sponsoring organization.
+        promise: public promise to respect robots.txt.
+        home_asn: the dominant ASN (>90 % of traffic, §5.2).
+        accesses_per_day: mean page accesses per day across the whole
+            estate at paper scale (Table 3 hits / 40 days).
+        session_length_mean: mean pages per session (geometric).
+        inter_access_mean: mean natural seconds between in-session
+            accesses when not honouring a crawl delay.
+        compliance: per-directive compliance targets.
+        check: robots.txt re-check policy.
+        experiment_site_share: fraction of traffic aimed at the
+            experiment site (it carried ~40 % of institutional bot
+            traffic in the paper).
+        interests: section-name -> weight map steering page choice
+            (lets AI assistants prefer large document pages, and
+            YisouSpider prefer the people directory).
+        spoof_asns: ASNs from which spoofed traffic bearing this UA
+            originates (Table 8's "possible spoofing ASNs").
+        spoof_rate: spoofed accesses as a fraction of the bot's own
+            volume (<1 % for most flagged bots, §5.2).
+        burst: optional (start_day, end_day, multiplier) activity
+            burst, ISO dates — models YisouSpider's mid-March spike.
+        ip_count: size of the bot's stable source-IP pool.
+        trap_probe_rate: probability that an access targets a
+            honeypot/trap path (robots-disallowed, never linked).
+            Zero for well-behaved bots; positive for spoofers and
+            brute-force crawlers — the hook for the paper's §5.2
+            future-work idea of honeypot-based spoof confirmation.
+    """
+
+    name: str
+    user_agent: str
+    robots_token: str
+    category: BotCategory
+    entity: str
+    promise: RobotsPromise
+    home_asn: int
+    accesses_per_day: float
+    session_length_mean: float
+    inter_access_mean: float
+    compliance: ComplianceProfile
+    check: CheckPolicy
+    experiment_site_share: float = 0.4
+    interests: dict[str, float] = field(default_factory=dict)
+    spoof_asns: tuple[int, ...] = ()
+    spoof_rate: float = 0.0
+    burst: tuple[str, str, float] | None = None
+    ip_count: int = 2
+    trap_probe_rate: float = 0.0
+
+    @property
+    def sessions_per_day(self) -> float:
+        """Implied mean sessions/day from volume and session length."""
+        return self.accesses_per_day / max(self.session_length_mean, 1.0)
+
+    def within_session_delay_p(self, target: float) -> float:
+        """Solve the within-session delta compliance needed to measure
+        ``target`` overall.
+
+        The paper's crawl-delay metric counts inter-session gaps
+        (always >= 30 s) as compliant deltas, so with mean session
+        length L the measured ratio is roughly
+        ``(q * (L - 1) + 1) / L`` for within-session compliance q.
+        Inverting gives the q to generate.
+        """
+        length = max(self.session_length_mean, 2.0)
+        q = (target * length - 1.0) / (length - 1.0)
+        return min(1.0, max(0.0, q))

@@ -1,0 +1,104 @@
+"""Spoofed-bot traffic: agents presenting a false user agent.
+
+§5.2 of the paper flags requests bearing a well-known bot's UA but
+originating from outside its dominant ASN.  We generate that traffic
+with shadow agents: same UA string, different ASN, and (per Figure 11)
+compliance that mostly does *not* respond to robots.txt changes — with
+the two exceptions the paper calls out (PerplexityBot under endpoint
+access, Bytespider under disallow-all), which may be the true bot on
+an unusual network.
+"""
+
+from __future__ import annotations
+
+from ..web.server import WebServer
+from .agent import BotAgent
+from .behavior import BotProfile, ComplianceProfile
+from ..simulation.scenario import StudyScenario
+
+#: Default spoofed-instance compliance: indifferent to every directive.
+SPOOF_DEFAULT_COMPLIANCE = ComplianceProfile(
+    base_delay_p=0.30,
+    v1_delay_p=0.30,
+    base_endpoint_p=0.05,
+    v2_endpoint_p=0.05,
+    base_robots_share=0.0,
+    v3_robots_share=0.0,
+)
+
+#: The paper's two exceptions: spoof-flagged instances that *did*
+#: shift behaviour (likely the true bot on an atypical ASN).
+SPOOF_COMPLIANCE_OVERRIDES: dict[str, ComplianceProfile] = {
+    "PerplexityBot": ComplianceProfile(
+        base_delay_p=0.30,
+        v1_delay_p=0.30,
+        base_endpoint_p=0.10,
+        v2_endpoint_p=0.80,
+        base_robots_share=0.0,
+        v3_robots_share=0.0,
+    ),
+    "Bytespider": ComplianceProfile(
+        base_delay_p=0.30,
+        v1_delay_p=0.30,
+        base_endpoint_p=0.05,
+        v2_endpoint_p=0.05,
+        base_robots_share=0.0,
+        v3_robots_share=0.60,
+    ),
+}
+
+
+def spoof_compliance_for(name: str) -> ComplianceProfile:
+    """Compliance profile for spoofed instances of bot ``name``."""
+    return SPOOF_COMPLIANCE_OVERRIDES.get(name, SPOOF_DEFAULT_COMPLIANCE)
+
+
+def build_spoof_agents(
+    profile: BotProfile, scenario: StudyScenario, server: WebServer
+) -> list[BotAgent]:
+    """Shadow agents for every spoof ASN of ``profile``.
+
+    The victim's spoof volume (``spoof_rate`` x its own volume) is
+    split evenly across its spoof ASNs; each shadow agent emits with
+    one IP from its own network.
+    """
+    if not profile.spoof_asns or profile.spoof_rate <= 0:
+        return []
+    per_asn_volume = (
+        profile.accesses_per_day * profile.spoof_rate / len(profile.spoof_asns)
+    )
+    compliance = spoof_compliance_for(profile.name)
+    agents: list[BotAgent] = []
+    for index, asn in enumerate(profile.spoof_asns):
+        shadow = BotProfile(
+            name=profile.name,
+            user_agent=profile.user_agent,
+            robots_token=profile.robots_token,
+            category=profile.category,
+            entity=profile.entity,
+            promise=profile.promise,
+            home_asn=asn,
+            accesses_per_day=per_asn_volume,
+            session_length_mean=max(3.0, profile.session_length_mean / 2),
+            inter_access_mean=profile.inter_access_mean,
+            compliance=compliance,
+            check=profile.check,
+            # Spoofers impersonate privileged identities to reach
+            # protected content, so they skew toward the high-value
+            # experiment site harder than the genuine bot does.
+            experiment_site_share=max(profile.experiment_site_share, 0.6),
+            interests=dict(profile.interests),
+            ip_count=1,
+            trap_probe_rate=0.05,
+        )
+        agents.append(
+            BotAgent(
+                profile=shadow,
+                scenario=scenario,
+                server=server,
+                asn=asn,
+                compliance_override=compliance,
+                suffix=f":spoof:{index}",
+            )
+        )
+    return agents

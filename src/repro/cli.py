@@ -1,0 +1,215 @@
+"""Command-line interface: ``repro-study``.
+
+Subcommands:
+
+``simulate``
+    Run the study simulation and write the raw log (JSONL or CSV).
+``analyze``
+    Run the full analysis over a previously simulated (or real) log
+    and print selected tables/figures.
+``report``
+    Simulate + analyze in one step and print every artifact.
+``robots``
+    Inspect a robots.txt file: validate it and answer can-fetch
+    queries.
+``versions``
+    Print the paper's four experimental robots.txt files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .logs.io import read_jsonl, write_csv, write_jsonl
+from .reporting.experiments import EXPERIMENTS, run_all, run_experiment
+from .reporting.study import StudyAnalysis
+from .robots.corpus import all_versions, render_version
+from .robots.policy import RobotsPolicy
+from .robots.validator import validate
+from .simulation.engine import StudyDataset, run_study
+from .simulation.scenario import default_scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=(
+            "Reproduction toolkit for 'Scrapers Selectively Respect "
+            "robots.txt Directives' (IMC 2025)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="run the traffic simulation")
+    simulate.add_argument("--scale", type=float, default=0.05)
+    simulate.add_argument("--seed", type=int, default=2025)
+    simulate.add_argument("--output", type=Path, required=True)
+    simulate.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl"
+    )
+    simulate.add_argument("--no-noise", action="store_true")
+    simulate.add_argument("--no-spoofing", action="store_true")
+
+    analyze = commands.add_parser("analyze", help="analyze a simulated log")
+    analyze.add_argument("log", type=Path, help="JSONL log from 'simulate'")
+    analyze.add_argument("--seed", type=int, default=2025)
+    analyze.add_argument(
+        "--experiments",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help=f"artifact ids to print (default: all of {', '.join(EXPERIMENTS)})",
+    )
+
+    report = commands.add_parser("report", help="simulate + analyze + print")
+    report.add_argument("--scale", type=float, default=0.05)
+    report.add_argument("--seed", type=int, default=2025)
+    report.add_argument("--experiments", nargs="*", default=None, metavar="ID")
+
+    robots = commands.add_parser("robots", help="inspect a robots.txt file")
+    robots.add_argument("file", type=Path)
+    robots.add_argument("--agent", default="*", help="user-agent token to test")
+    robots.add_argument(
+        "--path", action="append", default=[], help="path(s) to test access for"
+    )
+
+    diff = commands.add_parser(
+        "diff", help="semantic diff between two robots.txt files"
+    )
+    diff.add_argument("old", type=Path)
+    diff.add_argument("new", type=Path)
+
+    scorecard = commands.add_parser(
+        "scorecard", help="per-bot compliance scorecard from a simulated study"
+    )
+    scorecard.add_argument("bot", help="canonical bot name (e.g. GPTBot)")
+    scorecard.add_argument("--scale", type=float, default=0.05)
+    scorecard.add_argument("--seed", type=int, default=2025)
+
+    commands.add_parser("versions", help="print the paper's four robots.txt files")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    dataset = run_study(
+        scale=args.scale,
+        seed=args.seed,
+        with_noise=not args.no_noise,
+        with_spoofing=not args.no_spoofing,
+    )
+    writer = write_csv if args.format == "csv" else write_jsonl
+    count = writer(dataset.records, args.output)
+    print(
+        f"wrote {count:,} records from {dataset.n_bot_agents} bots "
+        f"(+{dataset.n_spoof_agents} spoofed) to {args.output}"
+    )
+    return 0
+
+
+def _print_experiments(analysis: StudyAnalysis, wanted: list[str] | None) -> int:
+    if wanted:
+        for experiment_id in wanted:
+            print(run_experiment(experiment_id, analysis).rendered)
+            print()
+    else:
+        for result in run_all(analysis).values():
+            print(result.rendered)
+            print()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    records = list(read_jsonl(args.log))
+    dataset = StudyDataset(
+        records=records, scenario=default_scenario(seed=args.seed)
+    )
+    print(f"loaded {len(records):,} records from {args.log}", file=sys.stderr)
+    return _print_experiments(StudyAnalysis(dataset), args.experiments)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    dataset = run_study(scale=args.scale, seed=args.seed)
+    print(
+        f"simulated {len(dataset.records):,} records at scale {args.scale}",
+        file=sys.stderr,
+    )
+    return _print_experiments(StudyAnalysis(dataset), args.experiments)
+
+
+def _cmd_robots(args: argparse.Namespace) -> int:
+    text = args.file.read_text(encoding="utf-8", errors="replace")
+    findings = validate(text)
+    if findings:
+        print(f"{len(findings)} finding(s):")
+        for finding in findings:
+            location = f" line {finding.line_number}" if finding.line_number else ""
+            print(f"  [{finding.severity.value}]{location} {finding.code}: "
+                  f"{finding.message}")
+    else:
+        print("no validator findings")
+    policy = RobotsPolicy.from_text(text)
+    delay = policy.crawl_delay(args.agent)
+    if delay is not None:
+        print(f"crawl delay for {args.agent!r}: {delay:g}s")
+    for path in args.path:
+        decision = policy.decide(args.agent, path)
+        verdict = "ALLOW" if decision.allowed else "DENY"
+        print(f"{verdict:5s} {path} ({decision.reason})")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .robots.diff import diff_robots, render_diff
+
+    old_text = args.old.read_text(encoding="utf-8", errors="replace")
+    new_text = args.new.read_text(encoding="utf-8", errors="replace")
+    print(render_diff(diff_robots(old_text, new_text)))
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from .reporting.scorecard import render_scorecard
+
+    dataset = run_study(scale=args.scale, seed=args.seed)
+    analysis = StudyAnalysis(dataset)
+    try:
+        print(render_scorecard(analysis, args.bot))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_versions(_args: argparse.Namespace) -> int:
+    for version in all_versions():
+        title = f"# {version.value}: {version.directive_name}"
+        print(title)
+        print(render_version(version))
+        print()
+    return 0
+
+
+_HANDLERS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "report": _cmd_report,
+    "robots": _cmd_robots,
+    "diff": _cmd_diff,
+    "scorecard": _cmd_scorecard,
+    "versions": _cmd_versions,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

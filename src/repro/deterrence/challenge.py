@@ -1,0 +1,104 @@
+"""Proof-of-work challenges (the paper's cited Anubis-style approach).
+
+A server hands suspect clients a cheap-to-verify, costly-to-solve
+puzzle before serving content: find a nonce such that
+``sha256(token || nonce)`` has ``difficulty`` leading zero bits.
+Humans behind browsers pay milliseconds once; scraper fleets pay it
+per identity, which changes their economics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+from dataclasses import dataclass
+
+#: Default difficulty: ~2^16 hash attempts expected.
+DEFAULT_DIFFICULTY_BITS = 16
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """An issued proof-of-work challenge.
+
+    Attributes:
+        token: server-issued opaque token (binds client identity).
+        difficulty_bits: required leading zero bits of the digest.
+    """
+
+    token: str
+    difficulty_bits: int
+
+
+def _leading_zero_bits(digest: bytes) -> int:
+    bits = 0
+    for byte in digest:
+        if byte == 0:
+            bits += 8
+            continue
+        for shift in range(7, -1, -1):
+            if byte >> shift:
+                return bits + (7 - shift)
+        return bits
+    return bits
+
+
+class ChallengeIssuer:
+    """Issues and verifies proof-of-work challenges.
+
+    Args:
+        secret: HMAC key binding tokens to this issuer.
+        difficulty_bits: puzzle hardness.
+    """
+
+    def __init__(
+        self, secret: str = "pow-secret", difficulty_bits: int = DEFAULT_DIFFICULTY_BITS
+    ) -> None:
+        if not 1 <= difficulty_bits <= 64:
+            raise ValueError("difficulty must be between 1 and 64 bits")
+        self._secret = secret.encode("utf-8")
+        self.difficulty_bits = difficulty_bits
+        self.issued = 0
+        self.verified = 0
+        self.rejected = 0
+
+    def issue(self, client_identity: str) -> Challenge:
+        """Issue a challenge bound to ``client_identity``."""
+        mac = hmac.new(self._secret, client_identity.encode(), hashlib.sha256)
+        self.issued += 1
+        return Challenge(
+            token=mac.hexdigest(), difficulty_bits=self.difficulty_bits
+        )
+
+    def verify(self, challenge: Challenge, nonce: int) -> bool:
+        """Check a claimed solution."""
+        digest = hashlib.sha256(
+            f"{challenge.token}:{nonce}".encode()
+        ).digest()
+        ok = _leading_zero_bits(digest) >= challenge.difficulty_bits
+        if ok:
+            self.verified += 1
+        else:
+            self.rejected += 1
+        return ok
+
+
+def solve(challenge: Challenge, max_attempts: int = 1 << 24) -> int | None:
+    """Brute-force a challenge (what a client must spend).
+
+    Returns the nonce, or ``None`` if ``max_attempts`` was exhausted.
+    Exposed so the simulation can model solver cost.
+    """
+    target = challenge.difficulty_bits
+    for nonce in itertools.count():
+        if nonce >= max_attempts:
+            return None
+        digest = hashlib.sha256(f"{challenge.token}:{nonce}".encode()).digest()
+        if _leading_zero_bits(digest) >= target:
+            return nonce
+
+
+def expected_attempts(difficulty_bits: int) -> int:
+    """Expected hash attempts to solve at ``difficulty_bits``."""
+    return 1 << difficulty_bits

@@ -1,0 +1,120 @@
+"""Deterrence gateway: a reverse-proxy policy engine in front of the
+web substrate.
+
+Chains the enforceable mechanisms the paper's §2.2 surveys —
+blocklist, rate limiting with escalation, tarpit redirection — in
+front of a :class:`~repro.web.server.WebServer`.  Unlike robots.txt,
+everything here is enforced server-side, which is exactly the
+contrast the paper's conclusion calls for evaluating.
+
+The gateway exposes the same ``handle(request)`` interface as the
+server, so bot agents can be pointed at it unchanged and the standard
+analysis pipeline measures what got through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..web.message import Request, Response
+from ..web.server import WebServer
+from .blocklist import Blocklist, EscalationRule
+from .ratelimit import RateLimiter
+from .tarpit import TarpitGenerator
+
+
+@dataclass
+class GatewayStats:
+    """Counters for each gateway outcome."""
+
+    served: int = 0
+    blocked: int = 0
+    throttled: int = 0
+    tarpitted: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.served + self.blocked + self.throttled + self.tarpitted
+
+    def deterred_fraction(self) -> float:
+        """Fraction of requests that did not reach real content."""
+        if not self.total:
+            return 0.0
+        return 1.0 - self.served / self.total
+
+
+@dataclass
+class DeterrenceGateway:
+    """Policy chain: blocklist -> rate limit (+escalation) -> tarpit.
+
+    Args:
+        server: the origin being protected.
+        blocklist: explicit blocks (optional).
+        limiter: rate limiter (optional).
+        escalation: throttle-to-block escalation (optional; requires
+            ``limiter``).
+        tarpit: when set, requests from tarpit-listed user agents (and
+            any request already inside the maze) get tarpit pages
+            instead of content.
+        tarpit_agents: UA fragments steered into the tarpit.
+    """
+
+    server: WebServer
+    blocklist: Blocklist | None = None
+    limiter: RateLimiter | None = None
+    escalation: EscalationRule | None = None
+    tarpit: TarpitGenerator | None = None
+    tarpit_agents: tuple[str, ...] = ()
+    stats: GatewayStats = field(default_factory=GatewayStats)
+
+    def handle(self, request: Request) -> Response:
+        """Apply the policy chain, falling through to the origin."""
+        now = request.timestamp
+        if self.blocklist is not None:
+            reason = self.blocklist.is_blocked(
+                request.client_ip, request.asn, request.user_agent, now
+            )
+            if reason is not None:
+                self.stats.blocked += 1
+                return Response(status=403, body_bytes=0)
+        if self.limiter is not None and not self.limiter.check(
+            request.client_ip, request.asn, request.user_agent, now
+        ):
+            self.stats.throttled += 1
+            if self.escalation is not None and self.blocklist is not None:
+                self.escalation.record_throttle(
+                    request.client_ip, now, self.blocklist
+                )
+            return Response(status=429, body_bytes=0)
+        if self.tarpit is not None and self._should_tarpit(request):
+            self.stats.tarpitted += 1
+            page = self.tarpit.page(request.path_only)
+            return Response(
+                status=200,
+                body_bytes=page.size_bytes,
+                content_type="text/html",
+                body=page.body.encode("utf-8"),
+            )
+        self.stats.served += 1
+        return self.server.handle(request)
+
+    def _should_tarpit(self, request: Request) -> bool:
+        assert self.tarpit is not None
+        if self.tarpit.is_tarpit_path(request.path_only):
+            return True
+        lowered = request.user_agent.lower()
+        return any(fragment.lower() in lowered for fragment in self.tarpit_agents)
+
+
+def default_gateway(server: WebServer) -> DeterrenceGateway:
+    """A sensible default chain: blocklist + per-IP limiter with
+    escalation + tarpit for agents that ignore robots.txt."""
+    blocklist = Blocklist()
+    return DeterrenceGateway(
+        server=server,
+        blocklist=blocklist,
+        limiter=RateLimiter(capacity=60.0, refill_per_second=1.0),
+        escalation=EscalationRule(),
+        tarpit=TarpitGenerator(),
+        tarpit_agents=("Bytespider",),
+    )

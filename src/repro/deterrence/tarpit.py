@@ -1,0 +1,120 @@
+"""Tarpit: unending deterministic fake content for unwanted scrapers.
+
+The paper cites operators deploying tarpits against AI crawlers that
+ignore robots.txt [10].  A tarpit page is cheap to generate, links
+only to more tarpit pages, and (optionally) dribbles out slowly.  The
+generator here is fully deterministic in (seed, path) so the same URL
+always yields the same page — indistinguishable from static content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Word pool for the fake prose (generic academic filler).
+_WORDS: tuple[str, ...] = (
+    "archive", "bulletin", "campus", "catalog", "census", "charter",
+    "circular", "colloquium", "committee", "compendium", "council",
+    "digest", "directive", "dossier", "faculty", "gazette", "index",
+    "initiative", "inventory", "ledger", "manual", "memorandum",
+    "minutes", "proceedings", "prospectus", "provost", "registry",
+    "report", "roster", "schedule", "seminar", "symposium", "syllabus",
+    "transcript", "treatise",
+)
+
+#: Path prefix under which tarpit pages live.
+TARPIT_PREFIX = "/archive-mirror/"
+
+
+@dataclass(frozen=True)
+class TarpitPage:
+    """One generated tarpit page.
+
+    Attributes:
+        path: this page's path.
+        body: HTML body text.
+        links: paths of linked tarpit pages (all under the prefix).
+        serve_delay_seconds: suggested response-dribble delay.
+    """
+
+    path: str
+    body: str
+    links: tuple[str, ...]
+    serve_delay_seconds: float
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.body.encode("utf-8"))
+
+
+class TarpitGenerator:
+    """Deterministic page-mill.
+
+    Args:
+        seed: site secret; different seeds give disjoint mazes.
+        links_per_page: fan-out of the maze.
+        words_per_page: prose length.
+        serve_delay_seconds: suggested per-response delay.
+    """
+
+    def __init__(
+        self,
+        seed: str = "tarpit",
+        links_per_page: int = 6,
+        words_per_page: int = 120,
+        serve_delay_seconds: float = 8.0,
+    ) -> None:
+        if links_per_page < 1:
+            raise ValueError("links_per_page must be at least 1")
+        self._seed = seed
+        self._links_per_page = links_per_page
+        self._words_per_page = words_per_page
+        self._delay = serve_delay_seconds
+
+    def is_tarpit_path(self, path: str) -> bool:
+        return path.startswith(TARPIT_PREFIX)
+
+    def entry_path(self) -> str:
+        """The maze entrance (link this from nowhere visible)."""
+        return TARPIT_PREFIX + self._token("entry")
+
+    def page(self, path: str) -> TarpitPage:
+        """Generate the page at ``path`` (deterministic)."""
+        stream = self._stream(path)
+        words = [
+            _WORDS[next(stream) % len(_WORDS)] for _ in range(self._words_per_page)
+        ]
+        links = tuple(
+            TARPIT_PREFIX + self._token(f"{path}#{index}:{next(stream)}")
+            for index in range(self._links_per_page)
+        )
+        paragraphs = " ".join(words)
+        anchors = "\n".join(f'<a href="{link}">{link}</a>' for link in links)
+        body = (
+            f"<html><head><title>{words[0]} {words[1]}</title></head>"
+            f"<body><p>{paragraphs}</p>\n{anchors}\n</body></html>"
+        )
+        return TarpitPage(
+            path=path,
+            body=body,
+            links=links,
+            serve_delay_seconds=self._delay,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _token(self, material: str) -> str:
+        digest = hashlib.sha256(f"{self._seed}:{material}".encode()).hexdigest()
+        return digest[:20]
+
+    def _stream(self, path: str):
+        """Infinite deterministic integer stream for ``path``."""
+        counter = 0
+        while True:
+            digest = hashlib.sha256(
+                f"{self._seed}:{path}:{counter}".encode()
+            ).digest()
+            for offset in range(0, 32, 4):
+                yield int.from_bytes(digest[offset : offset + 4], "big")
+            counter += 1

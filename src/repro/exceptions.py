@@ -1,0 +1,67 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class RobotsError(ReproError):
+    """Base class for robots.txt engine errors."""
+
+
+class RobotsParseError(RobotsError):
+    """A robots.txt document could not be parsed at all.
+
+    Note that per RFC 9309 almost any byte soup is "parseable" (unknown
+    lines are skipped), so this is reserved for hard failures such as a
+    document exceeding the size cap with truncation disabled.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class RobotsSizeError(RobotsParseError):
+    """The robots.txt body exceeded the parser's size cap."""
+
+
+class LogSchemaError(ReproError):
+    """A log record or log file did not conform to the expected schema."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was misconfigured or reached a bad state."""
+
+
+class ScenarioError(SimulationError):
+    """An experiment scenario definition is invalid."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot work with."""
+
+
+class UnknownBotError(ReproError):
+    """A bot name was requested that the profile registry does not know."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unknown bot profile: {name!r}")
+
+
+class ASNLookupError(ReproError):
+    """An ASN was not present in the registry."""
+
+    def __init__(self, asn: int) -> None:
+        self.asn = asn
+        super().__init__(f"ASN {asn} not found in registry")

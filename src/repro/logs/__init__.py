@@ -1,0 +1,54 @@
+"""Access-log pipeline: schema, IO, preprocessing, sessionization."""
+
+from .io import (
+    parse_clf_line,
+    read_clf,
+    read_csv,
+    read_jsonl,
+    render_clf_line,
+    write_csv,
+    write_jsonl,
+)
+from .preprocess import (
+    PreprocessReport,
+    Preprocessor,
+    find_scanner_ips,
+    known_bot_records,
+    looks_like_probe,
+    records_by_bot,
+    records_by_category,
+)
+from .schema import CSV_COLUMNS, LogRecord, from_iso8601, to_iso8601
+from .sessionize import (
+    SESSION_TIMEOUT_SECONDS,
+    Session,
+    sessionize,
+    sessions_by_category,
+    sessions_per_day,
+)
+
+__all__ = [
+    "CSV_COLUMNS",
+    "LogRecord",
+    "PreprocessReport",
+    "Preprocessor",
+    "SESSION_TIMEOUT_SECONDS",
+    "Session",
+    "find_scanner_ips",
+    "from_iso8601",
+    "known_bot_records",
+    "looks_like_probe",
+    "parse_clf_line",
+    "read_clf",
+    "read_csv",
+    "read_jsonl",
+    "records_by_bot",
+    "records_by_category",
+    "render_clf_line",
+    "sessionize",
+    "sessions_by_category",
+    "sessions_per_day",
+    "to_iso8601",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,140 @@
+"""Access-log record schema (the paper's §3.1 field list).
+
+Each :class:`LogRecord` is one page access by one web visitor at one
+time, with exactly the fields the paper's dataset carries: user agent,
+timestamp, hashed IP, ASN, sitename, URI path, status code, bytes and
+referer — plus the enrichment columns the preprocessing pipeline adds
+(standardized bot name, category, ASN organization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+from ..uaparse.categories import BotCategory
+
+
+def to_iso8601(epoch: float) -> str:
+    """Render epoch seconds as the dataset's ISO-8601 timestamp."""
+    return (
+        datetime.fromtimestamp(epoch, tz=timezone.utc)
+        .isoformat()
+        .replace("+00:00", "Z")
+    )
+
+
+def from_iso8601(text: str) -> float:
+    """Parse an ISO-8601 timestamp back to epoch seconds."""
+    return datetime.fromisoformat(text.replace("Z", "+00:00")).timestamp()
+
+
+@dataclass(slots=True)
+class LogRecord:
+    """One web access.
+
+    Core fields mirror the paper's dataset; enrichment fields are
+    ``None`` until :mod:`repro.logs.preprocess` fills them in.
+
+    Attributes:
+        useragent: self-reported User-Agent header value.
+        timestamp: access time, epoch seconds (UTC).
+        ip_hash: one-way hash of the visitor IP (IRB anonymization).
+        asn: autonomous system number of the visitor.
+        sitename: base website accessed.
+        uri_path: requested resource path.
+        status_code: HTTP status the site returned.
+        bytes_sent: bytes transmitted by the server.
+        referer: redirecting site, when present.
+        bot_name: standardized bot name (enrichment).
+        bot_category: Dark Visitors category (enrichment).
+        asn_name: ASN registry handle (enrichment).
+    """
+
+    useragent: str
+    timestamp: float
+    ip_hash: str
+    asn: int
+    sitename: str
+    uri_path: str
+    status_code: int
+    bytes_sent: int
+    referer: str | None = None
+    bot_name: str | None = None
+    bot_category: BotCategory | None = None
+    asn_name: str | None = None
+
+    @property
+    def iso_timestamp(self) -> str:
+        return to_iso8601(self.timestamp)
+
+    @property
+    def is_robots_fetch(self) -> bool:
+        """True when this access targets ``/robots.txt``."""
+        path = self.uri_path
+        question = path.find("?")
+        if question >= 0:
+            path = path[:question]
+        return path == "/robots.txt"
+
+    @property
+    def url(self) -> str:
+        return f"https://{self.sitename}{self.uri_path}"
+
+    @property
+    def tau(self) -> tuple[int, str, str]:
+        """The paper's §4.2 requester tuple: (ASN, IP hash, user agent)."""
+        return (self.asn, self.ip_hash, self.useragent)
+
+    def to_dict(self) -> dict:
+        """Serializable dict with the paper's column names."""
+        return {
+            "useragent": self.useragent,
+            "timestamp": self.iso_timestamp,
+            "ip_hash": self.ip_hash,
+            "asn": self.asn,
+            "sitename": self.sitename,
+            "uri_path": self.uri_path,
+            "status_code": self.status_code,
+            "bytes": self.bytes_sent,
+            "referer": self.referer,
+            "bot_name": self.bot_name,
+            "bot_category": self.bot_category.value if self.bot_category else None,
+            "asn_name": self.asn_name,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "LogRecord":
+        """Inverse of :meth:`to_dict` (enrichment fields optional)."""
+        category = row.get("bot_category")
+        return cls(
+            useragent=row["useragent"],
+            timestamp=from_iso8601(row["timestamp"]),
+            ip_hash=row["ip_hash"],
+            asn=int(row["asn"]),
+            sitename=row["sitename"],
+            uri_path=row["uri_path"],
+            status_code=int(row["status_code"]),
+            bytes_sent=int(row["bytes"]),
+            referer=row.get("referer") or None,
+            bot_name=row.get("bot_name") or None,
+            bot_category=BotCategory.from_label(category) if category else None,
+            asn_name=row.get("asn_name") or None,
+        )
+
+
+#: Column order for CSV serialization.
+CSV_COLUMNS: tuple[str, ...] = (
+    "useragent",
+    "timestamp",
+    "ip_hash",
+    "asn",
+    "sitename",
+    "uri_path",
+    "status_code",
+    "bytes",
+    "referer",
+    "bot_name",
+    "bot_category",
+    "asn_name",
+)

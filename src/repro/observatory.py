@@ -1,0 +1,208 @@
+"""Longitudinal robots.txt observatory.
+
+The paper's motivation leans on Longpre et al.'s finding that
+robots.txt restrictions tightened sharply after generative AI's rise.
+This module provides the measurement machinery for exactly that kind
+of longitudinal study: record dated snapshots of sites' robots.txt
+files, quantify how restrictive each snapshot is (overall and for AI
+agents specifically), and detect tightening trends and change events.
+
+Example::
+
+    observatory = RobotsObservatory()
+    observatory.record("site.example", epoch("2023-01-01"), old_text)
+    observatory.record("site.example", epoch("2025-01-01"), new_text)
+    observatory.tightening_slope("site.example")   # > 0: tightening
+    for event in observatory.change_events("site.example"):
+        print(event.site, event.when, event.diff.strictness_score())
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from .robots.diff import (
+    DEFAULT_PROBE_AGENTS,
+    DEFAULT_PROBE_PATHS,
+    RobotsDiff,
+    diff_policies,
+)
+from .robots.policy import RobotsPolicy
+from .uaparse.categories import BotCategory
+from .uaparse.registry import default_registry
+
+
+def ai_agent_tokens() -> tuple[str, ...]:
+    """Robots tokens of AI-category bots from the built-in registry."""
+    tokens = [
+        record.name
+        for record in default_registry()
+        if record.category.is_ai
+    ]
+    return tuple(sorted(tokens))
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One dated robots.txt observation."""
+
+    site: str
+    fetched_at: float
+    text: str
+
+    @cached_property
+    def policy(self) -> RobotsPolicy:
+        return RobotsPolicy.from_text(self.text)
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """A robots.txt change between consecutive snapshots."""
+
+    site: str
+    when: float
+    diff: RobotsDiff
+
+    @property
+    def tightened(self) -> bool:
+        return self.diff.is_stricter
+
+
+def restrictiveness(
+    policy: RobotsPolicy,
+    agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS,
+    paths: tuple[str, ...] = DEFAULT_PROBE_PATHS,
+) -> float:
+    """Fraction of (agent, path) probes denied, in [0, 1]."""
+    total = 0
+    denied = 0
+    for agent in agents:
+        for path in paths:
+            total += 1
+            if not policy.can_fetch(agent, path):
+                denied += 1
+    return denied / total if total else 0.0
+
+
+def ai_restriction_index(
+    policy: RobotsPolicy,
+    paths: tuple[str, ...] = DEFAULT_PROBE_PATHS,
+) -> float:
+    """Restrictiveness measured over AI-bot tokens only.
+
+    The longitudinal quantity Longpre et al. track: how much of the
+    site is closed to AI crawlers specifically.
+    """
+    return restrictiveness(policy, agents=ai_agent_tokens(), paths=paths)
+
+
+def fully_blocked_agents(
+    policy: RobotsPolicy, agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS
+) -> list[str]:
+    """Probe agents denied every non-robots path."""
+    blocked = []
+    for agent in agents:
+        if not any(policy.can_fetch(agent, path) for path in DEFAULT_PROBE_PATHS):
+            blocked.append(agent)
+    return blocked
+
+
+@dataclass
+class RobotsObservatory:
+    """Snapshot store with longitudinal analytics."""
+
+    _snapshots: dict[str, list[Snapshot]] = field(default_factory=dict, repr=False)
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, site: str, fetched_at: float, text: str) -> Snapshot:
+        """Store one observation (kept sorted by time)."""
+        snapshot = Snapshot(site=site, fetched_at=fetched_at, text=text)
+        history = self._snapshots.setdefault(site, [])
+        position = bisect.bisect(
+            [existing.fetched_at for existing in history], fetched_at
+        )
+        history.insert(position, snapshot)
+        return snapshot
+
+    def sites(self) -> list[str]:
+        return sorted(self._snapshots)
+
+    def history(self, site: str) -> list[Snapshot]:
+        return list(self._snapshots.get(site, []))
+
+    # -- point queries --------------------------------------------------------
+
+    def latest(self, site: str) -> Snapshot | None:
+        history = self._snapshots.get(site)
+        return history[-1] if history else None
+
+    def at(self, site: str, when: float) -> Snapshot | None:
+        """The snapshot in force at time ``when`` (latest not after)."""
+        history = self._snapshots.get(site, [])
+        result: Snapshot | None = None
+        for snapshot in history:
+            if snapshot.fetched_at <= when:
+                result = snapshot
+            else:
+                break
+        return result
+
+    # -- longitudinal analytics ---------------------------------------------------
+
+    def restrictiveness_series(
+        self, site: str, agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS
+    ) -> list[tuple[float, float]]:
+        """(time, restrictiveness) per snapshot, time-ordered."""
+        return [
+            (snapshot.fetched_at, restrictiveness(snapshot.policy, agents=agents))
+            for snapshot in self._snapshots.get(site, [])
+        ]
+
+    def ai_series(self, site: str) -> list[tuple[float, float]]:
+        """(time, AI restriction index) per snapshot."""
+        return [
+            (snapshot.fetched_at, ai_restriction_index(snapshot.policy))
+            for snapshot in self._snapshots.get(site, [])
+        ]
+
+    def change_events(self, site: str) -> list[ChangeEvent]:
+        """Diffs between consecutive snapshots that changed anything."""
+        history = self._snapshots.get(site, [])
+        events: list[ChangeEvent] = []
+        for older, newer in zip(history, history[1:]):
+            diff = diff_policies(older.policy, newer.policy)
+            if diff.changes or diff.delay_changes:
+                events.append(
+                    ChangeEvent(site=site, when=newer.fetched_at, diff=diff)
+                )
+        return events
+
+    def tightening_slope(self, site: str) -> float:
+        """Least-squares slope of restrictiveness over time.
+
+        Positive values mean the site is closing down — the
+        "consent in crisis" trend.  Time unit: fraction per year.
+        Returns 0.0 with fewer than two snapshots.
+        """
+        series = self.restrictiveness_series(site)
+        if len(series) < 2:
+            return 0.0
+        year = 365.25 * 86_400.0
+        times = [when / year for when, _ in series]
+        values = [value for _, value in series]
+        n = len(series)
+        mean_t = sum(times) / n
+        mean_v = sum(values) / n
+        denominator = sum((t - mean_t) ** 2 for t in times)
+        if denominator == 0:
+            return 0.0
+        numerator = sum(
+            (t - mean_t) * (v - mean_v) for t, v in zip(times, values)
+        )
+        return numerator / denominator
+
+    def is_tightening(self, site: str) -> bool:
+        return self.tightening_slope(site) > 0.0

@@ -1,0 +1,30 @@
+"""Reporting: analysis facade, per-experiment drivers, renderers."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from .figures import render_bar_chart, render_grouped_bars, render_series
+from .scorecard import available_bots, render_scorecard
+from .study import VERSION_DIRECTIVES, StudyAnalysis, analyze
+from .tables import format_cell, render_kv, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "StudyAnalysis",
+    "VERSION_DIRECTIVES",
+    "analyze",
+    "available_bots",
+    "format_cell",
+    "render_scorecard",
+    "render_bar_chart",
+    "render_grouped_bars",
+    "render_kv",
+    "render_series",
+    "render_table",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,112 @@
+"""ASCII figure rendering: bar charts and day series.
+
+The paper's figures are matplotlib plots; offline we render the same
+data as labelled ASCII so the benchmark harness can print the series a
+reader would compare against the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 46
+
+
+def render_bar_chart(
+    data: Mapping[str, float],
+    title: str | None = None,
+    log_scale: bool = False,
+    value_format: str = "{:.0f}",
+) -> str:
+    """Horizontal bar chart, one labelled row per key.
+
+    Args:
+        data: label -> value (insertion order preserved).
+        log_scale: scale bars by log10(value + 1), as in Figure 2.
+        value_format: format spec for the numeric suffix.
+    """
+    if not data:
+        return (title or "") + "\n(no data)"
+    label_width = max(len(label) for label in data)
+
+    def magnitude(value: float) -> float:
+        if log_scale:
+            return math.log10(value + 1.0)
+        return value
+
+    peak = max(magnitude(value) for value in data.values()) or 1.0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in data.items():
+        filled = int(round(BAR_WIDTH * magnitude(value) / peak)) if peak else 0
+        bar = "#" * max(0, filled)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(BAR_WIDTH)}| "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple[str, float]]],
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+    max_points: int = 10,
+) -> str:
+    """Render named (x, y) series as aligned text columns.
+
+    Long series are downsampled to ``max_points`` evenly spaced points
+    (always keeping the last point) so output stays readable.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for name, points in series.items():
+        lines.append(f"-- {name}")
+        sampled = _downsample(list(points), max_points)
+        for x, y in sampled:
+            lines.append(f"   {x}  {value_format.format(y)}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    data: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Grouped values (e.g. category x window proportions) as rows."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    groups = list(data)
+    if not groups:
+        return "\n".join(lines) + "\n(no data)"
+    label_width = max(len(group) for group in groups)
+    columns = list(next(iter(data.values())))
+    header = " " * label_width + "  " + "  ".join(f"{col:>10}" for col in columns)
+    lines.append(header)
+    for group in groups:
+        cells = "  ".join(
+            f"{value_format.format(data[group].get(col, 0.0)):>10}"
+            for col in columns
+        )
+        lines.append(f"{group.ljust(label_width)}  {cells}")
+    return "\n".join(lines)
+
+
+def _downsample(
+    points: list[tuple[str, float]], max_points: int
+) -> list[tuple[str, float]]:
+    if len(points) <= max_points:
+        return points
+    step = (len(points) - 1) / (max_points - 1)
+    indices = sorted({int(round(i * step)) for i in range(max_points)})
+    if indices[-1] != len(points) - 1:
+        indices.append(len(points) - 1)
+    return [points[i] for i in indices]

@@ -1,0 +1,168 @@
+"""StudyAnalysis: one preprocessed view of a simulated (or real) study.
+
+Ties the whole pipeline together: preprocessing/enrichment, phase
+slicing, per-bot and category compliance, spoofing, and check
+frequency — computed lazily and cached, so the per-experiment drivers
+in :mod:`repro.reporting.experiments` stay cheap.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..analysis.aggregate import CategoryComplianceTable, category_compliance
+from ..analysis.checkfreq import recheck_by_category, skipped_check_rows
+from ..analysis.compliance import Directive
+from ..analysis.perbot import (
+    BotDirectiveResult,
+    per_bot_results,
+    spoofed_bot_results,
+)
+from ..analysis.spoofing import (
+    SpoofFinding,
+    SpoofPartition,
+    find_spoofed_bots,
+    partition_records,
+)
+from ..logs.preprocess import PreprocessReport, Preprocessor, records_by_bot
+from ..logs.schema import LogRecord
+from ..robots.corpus import RobotsVersion
+from ..simulation.engine import StudyDataset
+
+#: Experiment phase -> measured directive.
+VERSION_DIRECTIVES: dict[RobotsVersion, Directive] = {
+    RobotsVersion.V1_CRAWL_DELAY: Directive.CRAWL_DELAY,
+    RobotsVersion.V2_ENDPOINT: Directive.ENDPOINT,
+    RobotsVersion.V3_DISALLOW_ALL: Directive.DISALLOW_ALL,
+}
+
+
+class StudyAnalysis:
+    """Analysis facade over one :class:`StudyDataset`.
+
+    Args:
+        dataset: output of the simulation engine (or a dataset built
+            from real logs with the same scenario metadata).
+        preprocessor: pipeline override for custom registries.
+    """
+
+    def __init__(
+        self, dataset: StudyDataset, preprocessor: Preprocessor | None = None
+    ) -> None:
+        self.dataset = dataset
+        self.scenario = dataset.scenario
+        pipeline = preprocessor or Preprocessor()
+        self.records, self.preprocess_report = pipeline.run(list(dataset.records))
+
+    # -- slicing -----------------------------------------------------------
+
+    @cached_property
+    def overview_records(self) -> list[LogRecord]:
+        """Records inside the 40-day overview window (all sites)."""
+        start, end = self.scenario.overview_start, self.scenario.overview_end
+        return [
+            record
+            for record in self.records
+            if start <= record.timestamp < end
+        ]
+
+    def phase_records(self, version: RobotsVersion) -> list[LogRecord]:
+        """Experiment-site records during one deployment."""
+        phase = self.scenario.phase_for_version(version)
+        site = self.scenario.experiment_site
+        return [
+            record
+            for record in self.records
+            if record.sitename == site and phase.contains(record.timestamp)
+        ]
+
+    @cached_property
+    def baseline_records(self) -> list[LogRecord]:
+        return self.phase_records(RobotsVersion.BASE)
+
+    @cached_property
+    def directive_records(self) -> dict[Directive, list[LogRecord]]:
+        return {
+            directive: self.phase_records(version)
+            for version, directive in VERSION_DIRECTIVES.items()
+        }
+
+    @cached_property
+    def passive_site_records(self) -> list[LogRecord]:
+        """Records on the fixed-robots passive-observation sites."""
+        passive = set(self.scenario.passive_sites)
+        return [record for record in self.records if record.sitename in passive]
+
+    # -- analyses ------------------------------------------------------------
+
+    @cached_property
+    def spoof_findings(self) -> dict[str, SpoofFinding]:
+        """Spoofing heuristic over the full enriched dataset."""
+        return find_spoofed_bots(self.records)
+
+    @cached_property
+    def spoof_partitions(self) -> dict[str, SpoofPartition]:
+        return partition_records(self.records, self.spoof_findings)
+
+    @cached_property
+    def per_bot(self) -> dict[str, dict[Directive, BotDirectiveResult]]:
+        """Per-bot baseline-vs-directive results (Fig 9 / Tables 6, 10)."""
+        return per_bot_results(
+            self.baseline_records,
+            self.directive_records,
+            spoof_findings=self.spoof_findings,
+        )
+
+    @cached_property
+    def per_bot_spoofed(self) -> dict[str, dict[Directive, BotDirectiveResult]]:
+        """Figure 11's parallel results over spoofed subsets."""
+        return spoofed_bot_results(
+            self.baseline_records,
+            self.directive_records,
+            self.spoof_findings,
+        )
+
+    @cached_property
+    def category_table(self) -> CategoryComplianceTable:
+        """Table 5's category x directive compliance."""
+        return category_compliance(self.per_bot)
+
+    @cached_property
+    def skipped_checks(self):
+        """Table 7 rows: bots that skipped >= 1 robots.txt check."""
+        directive_by_bot = {
+            directive: records_by_bot(records)
+            for directive, records in self.directive_records.items()
+        }
+        return skipped_check_rows(directive_by_bot)
+
+    @cached_property
+    def recheck_proportions(self):
+        """Figure 10: category -> window -> proportion re-checking."""
+        return recheck_by_category(self.passive_site_records)
+
+    # -- phase-level spoofing (Table 9) -----------------------------------------
+
+    def phase_spoof_counts(self, version: RobotsVersion) -> tuple[int, int]:
+        """(legitimate, spoofed) request counts during one deployment."""
+        records = self.phase_records(version)
+        partitions = partition_records(records, self.spoof_findings)
+        legitimate = sum(len(part.legitimate) for part in partitions.values())
+        spoofed = sum(len(part.spoofed) for part in partitions.values())
+        return legitimate, spoofed
+
+    # -- dataset summaries --------------------------------------------------------
+
+    def phase_summary(self, version: RobotsVersion) -> tuple[int, int]:
+        """(unique site visits, unique bot visitors) for Table 4."""
+        records = self.phase_records(version)
+        visits = len(records)
+        bots = len({
+            record.bot_name for record in records if record.bot_name is not None
+        })
+        return visits, bots
+
+
+def analyze(dataset: StudyDataset) -> StudyAnalysis:
+    """Convenience constructor mirroring :func:`repro.simulation.run_study`."""
+    return StudyAnalysis(dataset)

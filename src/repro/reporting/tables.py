@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper reports; this
+module does the formatting so every driver renders consistently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_cell(value) -> str:
+    """Render one cell: floats get 3 decimals, None becomes N/A."""
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "N/A"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cells (any printable values).
+        title: optional title line printed above the table.
+    """
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], title: str | None = None) -> str:
+    """Render key/value pairs as a two-column table."""
+    return render_table(["field", "value"], [(k, v) for k, v in pairs], title=title)

@@ -1,0 +1,80 @@
+"""RFC 9309 robots.txt engine.
+
+The public surface of this package:
+
+- :func:`parse` / :func:`parse_bytes` — text -> :class:`RobotsFile`;
+- :class:`RobotsPolicy` — the access-decision API crawlers consult;
+- :class:`RobotsBuilder` — programmatic document construction;
+- :func:`validate` / :func:`is_valid` — linting;
+- :class:`RobotsCache` — TTL caching as real crawlers do it;
+- :mod:`~repro.robots.corpus` — the paper's four experiment files.
+"""
+
+from .builder import RobotsBuilder
+from .cache import DEFAULT_TTL_SECONDS, RobotsCache
+from .diff import (
+    AccessChange,
+    AccessDelta,
+    RobotsDiff,
+    diff_policies,
+    diff_robots,
+    render_diff,
+)
+from .corpus import (
+    EXEMPT_SEO_BOTS,
+    RobotsVersion,
+    all_versions,
+    build_version,
+    policy_for_version,
+    render_version,
+)
+from .fetchstate import (
+    FetchDisposition,
+    RobotsFetchResult,
+    classify_status,
+    resolve_fetch,
+)
+from .matcher import evaluate_rules, pattern_matches, pattern_specificity
+from .model import Group, RobotsFile, Rule, RuleType
+from .parser import DEFAULT_MAX_BYTES, ParserOptions, parse, parse_bytes
+from .policy import AccessDecision, RobotsPolicy
+from .validator import Finding, Severity, is_valid, validate
+
+__all__ = [
+    "AccessChange",
+    "AccessDecision",
+    "AccessDelta",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_TTL_SECONDS",
+    "EXEMPT_SEO_BOTS",
+    "RobotsDiff",
+    "diff_policies",
+    "diff_robots",
+    "render_diff",
+    "FetchDisposition",
+    "Finding",
+    "Group",
+    "ParserOptions",
+    "RobotsBuilder",
+    "RobotsCache",
+    "RobotsFetchResult",
+    "RobotsFile",
+    "RobotsPolicy",
+    "RobotsVersion",
+    "Rule",
+    "RuleType",
+    "Severity",
+    "all_versions",
+    "build_version",
+    "classify_status",
+    "evaluate_rules",
+    "is_valid",
+    "parse",
+    "parse_bytes",
+    "pattern_matches",
+    "pattern_specificity",
+    "policy_for_version",
+    "render_version",
+    "resolve_fetch",
+    "validate",
+]

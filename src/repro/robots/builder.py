@@ -1,0 +1,109 @@
+"""Fluent builder for constructing robots.txt documents.
+
+Used by the experiment scenario code to synthesize the paper's four
+robots.txt versions, and useful in its own right for site operators who
+want to generate policy files programmatically::
+
+    text = (
+        RobotsBuilder()
+        .group("Googlebot").allow("/").crawl_delay(15)
+        .group("*").allow("/allowed-data/").disallow("/restricted-data/")
+        .sitemap("https://example.edu/sitemap.xml")
+        .build_text()
+    )
+"""
+
+from __future__ import annotations
+
+from .model import Group, RobotsFile, Rule, RuleType
+from .policy import RobotsPolicy
+
+
+class RobotsBuilder:
+    """Incrementally build a :class:`~repro.robots.model.RobotsFile`.
+
+    All mutating methods return ``self`` for chaining.  Rule methods
+    apply to the most recently opened group; calling one before any
+    :meth:`group` call raises :class:`ValueError` (explicit is better
+    than implicitly opening a catch-all group).
+    """
+
+    def __init__(self) -> None:
+        self._groups: list[Group] = []
+        self._sitemaps: list[str] = []
+
+    # -- group management --------------------------------------------
+
+    def group(self, *user_agents: str) -> "RobotsBuilder":
+        """Open a new group for one or more user-agent tokens."""
+        if not user_agents:
+            raise ValueError("group() needs at least one user-agent token")
+        for token in user_agents:
+            if not token or token.strip() != token:
+                raise ValueError(f"invalid user-agent token: {token!r}")
+        self._groups.append(Group(user_agents=list(user_agents)))
+        return self
+
+    def agent(self, user_agent: str) -> "RobotsBuilder":
+        """Add another user-agent token to the current group."""
+        self._current().user_agents.append(user_agent)
+        return self
+
+    # -- rules --------------------------------------------------------
+
+    def allow(self, path: str) -> "RobotsBuilder":
+        """Add an ``Allow`` rule to the current group."""
+        self._current().rules.append(Rule(type=RuleType.ALLOW, path=path))
+        return self
+
+    def disallow(self, path: str) -> "RobotsBuilder":
+        """Add a ``Disallow`` rule to the current group."""
+        self._current().rules.append(Rule(type=RuleType.DISALLOW, path=path))
+        return self
+
+    def crawl_delay(self, seconds: float) -> "RobotsBuilder":
+        """Set the current group's crawl delay (seconds, >= 0)."""
+        if seconds < 0:
+            raise ValueError("crawl delay must be non-negative")
+        self._current().crawl_delay = float(seconds)
+        return self
+
+    # -- document-level fields ----------------------------------------
+
+    def sitemap(self, url: str) -> "RobotsBuilder":
+        """Record a document-scoped ``Sitemap`` URL."""
+        if not url:
+            raise ValueError("sitemap URL must be non-empty")
+        self._sitemaps.append(url)
+        return self
+
+    # -- output --------------------------------------------------------
+
+    def build(self) -> RobotsFile:
+        """Finalize into a :class:`RobotsFile` (groups are copied)."""
+        return RobotsFile(
+            groups=[
+                Group(
+                    user_agents=list(group.user_agents),
+                    rules=list(group.rules),
+                    crawl_delay=group.crawl_delay,
+                )
+                for group in self._groups
+            ],
+            sitemaps=list(self._sitemaps),
+        )
+
+    def build_text(self) -> str:
+        """Finalize and render as robots.txt text."""
+        return self.build().render()
+
+    def build_policy(self) -> RobotsPolicy:
+        """Finalize directly into an access policy."""
+        return RobotsPolicy.from_robots(self.build())
+
+    # -- internals ------------------------------------------------------
+
+    def _current(self) -> Group:
+        if not self._groups:
+            raise ValueError("open a group() before adding rules")
+        return self._groups[-1]

@@ -1,0 +1,85 @@
+"""Per-origin robots.txt cache with time-to-live semantics.
+
+Real crawlers do not fetch robots.txt before every page request; they
+cache it, conventionally for 24 hours (the Google guideline the paper
+cites in §5.1).  The cache here is clock-agnostic: callers supply the
+current time, which lets the simulation drive it with virtual time and
+production users drive it with ``time.time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .policy import RobotsPolicy
+
+#: Google's documented recommendation: re-fetch robots.txt daily.
+DEFAULT_TTL_SECONDS = 24 * 3600.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached policy with its fetch timestamp."""
+
+    policy: RobotsPolicy
+    fetched_at: float
+    hits: int = 0
+
+
+@dataclass
+class RobotsCache:
+    """TTL cache mapping origin -> :class:`RobotsPolicy`.
+
+    Attributes:
+        ttl_seconds: entry lifetime; entries older than this are
+            reported stale and evicted on access.
+        max_entries: bound on cache size; the oldest entry is evicted
+            when full (simple FIFO-by-fetch-time, sufficient for the
+            handful of origins a polite crawler tracks).
+    """
+
+    ttl_seconds: float = DEFAULT_TTL_SECONDS
+    max_entries: int = 10_000
+    _entries: dict[str, CacheEntry] = field(default_factory=dict, repr=False)
+
+    def get(self, origin: str, now: float) -> RobotsPolicy | None:
+        """Return the cached policy for ``origin`` or None when absent/stale."""
+        entry = self._entries.get(origin)
+        if entry is None:
+            return None
+        if now - entry.fetched_at >= self.ttl_seconds:
+            del self._entries[origin]
+            return None
+        entry.hits += 1
+        return entry.policy
+
+    def put(self, origin: str, policy: RobotsPolicy, now: float) -> None:
+        """Insert or refresh the policy for ``origin``."""
+        if origin not in self._entries and len(self._entries) >= self.max_entries:
+            oldest = min(self._entries, key=lambda key: self._entries[key].fetched_at)
+            del self._entries[oldest]
+        self._entries[origin] = CacheEntry(policy=policy, fetched_at=now)
+
+    def age(self, origin: str, now: float) -> float | None:
+        """Seconds since ``origin`` was fetched, or None when not cached."""
+        entry = self._entries.get(origin)
+        if entry is None:
+            return None
+        return now - entry.fetched_at
+
+    def needs_refresh(self, origin: str, now: float) -> bool:
+        """True when a fetch is required before crawling ``origin``."""
+        return self.get(origin, now) is None
+
+    def invalidate(self, origin: str) -> None:
+        """Drop the entry for ``origin`` if present."""
+        self._entries.pop(origin, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, origin: str) -> bool:
+        return origin in self._entries

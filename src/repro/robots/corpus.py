@@ -1,0 +1,154 @@
+"""The paper's robots.txt corpus (Figures 5-8) and related constants.
+
+The controlled experiment deployed four robots.txt versions, each for
+two weeks, with increasingly strict directives.  This module builds
+each version with :class:`~repro.robots.builder.RobotsBuilder` so the
+experiment scenario, the analysis code, and the tests all share one
+definition.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .builder import RobotsBuilder
+from .model import RobotsFile
+from .policy import RobotsPolicy
+
+#: The eight SEO/search bots exempted from v2/v3 restrictions at the
+#: institution's request (paper §4.1 footnote 5).
+EXEMPT_SEO_BOTS: tuple[str, ...] = (
+    "Googlebot",
+    "Slurp",
+    "bingbot",
+    "Yandexbot",
+    "DuckDuckBot",
+    "BaiduSpider",
+    "DuckAssistBot",
+    "ia_archiver",
+)
+
+#: Paths disallowed for everyone in the base configuration (Figure 5).
+BASE_DISALLOWED_PATHS: tuple[str, ...] = ("/404", "/dev-404-page", "/secure/*")
+
+#: Crawl delay requested by version 1 (Figure 6), in seconds.
+V1_CRAWL_DELAY_SECONDS = 30.0
+
+#: The only endpoint most bots may touch under version 2 (Figure 7).
+V2_ALLOWED_ENDPOINT = "/page-data/*"
+
+
+class RobotsVersion(enum.Enum):
+    """The four experimental robots.txt deployments, in order."""
+
+    BASE = "base"
+    V1_CRAWL_DELAY = "v1"
+    V2_ENDPOINT = "v2"
+    V3_DISALLOW_ALL = "v3"
+
+    @property
+    def directive_name(self) -> str:
+        """The paper's name for the directive this version tests."""
+        return {
+            RobotsVersion.BASE: "baseline",
+            RobotsVersion.V1_CRAWL_DELAY: "crawl delay",
+            RobotsVersion.V2_ENDPOINT: "endpoint access",
+            RobotsVersion.V3_DISALLOW_ALL: "disallow all",
+        }[self]
+
+    @property
+    def strictness(self) -> int:
+        """Ordinal strictness, 0 (base) .. 3 (disallow all)."""
+        return {
+            RobotsVersion.BASE: 0,
+            RobotsVersion.V1_CRAWL_DELAY: 1,
+            RobotsVersion.V2_ENDPOINT: 2,
+            RobotsVersion.V3_DISALLOW_ALL: 3,
+        }[self]
+
+
+def _base_group(builder: RobotsBuilder, agent: str) -> RobotsBuilder:
+    """Append the Figure 5 base block for one agent."""
+    builder.group(agent).allow("/")
+    for path in BASE_DISALLOWED_PATHS:
+        builder.disallow(path)
+    return builder
+
+
+def build_base() -> RobotsFile:
+    """Figure 5: the institution's standard permissive robots.txt."""
+    return _base_group(RobotsBuilder(), "*").build()
+
+
+def build_v1() -> RobotsFile:
+    """Figure 6: base plus a 30 second crawl delay for all bots."""
+    builder = _base_group(RobotsBuilder(), "*")
+    builder.crawl_delay(V1_CRAWL_DELAY_SECONDS)
+    return builder.build()
+
+
+def build_v2() -> RobotsFile:
+    """Figure 7: most bots restricted to ``/page-data/*``; SEO exempt."""
+    builder = RobotsBuilder()
+    for agent in EXEMPT_SEO_BOTS:
+        _base_group(builder, agent)
+    builder.group("*").allow(V2_ALLOWED_ENDPOINT).disallow("/")
+    return builder.build()
+
+
+def build_v3() -> RobotsFile:
+    """Figure 8: most bots denied all content; SEO exempt."""
+    builder = RobotsBuilder()
+    for agent in EXEMPT_SEO_BOTS:
+        _base_group(builder, agent)
+    builder.group("*").disallow("/")
+    return builder.build()
+
+
+def build_simple_site_robots() -> RobotsFile:
+    """The fixed robots.txt on the three passive-observation sites.
+
+    §5.1: three other institutional sites carried identical files with
+    simple restrictions on ``/404`` and ``/secure`` endpoints.
+    """
+    return (
+        RobotsBuilder()
+        .group("*")
+        .allow("/")
+        .disallow("/404")
+        .disallow("/secure/*")
+        .build()
+    )
+
+
+_BUILDERS = {
+    RobotsVersion.BASE: build_base,
+    RobotsVersion.V1_CRAWL_DELAY: build_v1,
+    RobotsVersion.V2_ENDPOINT: build_v2,
+    RobotsVersion.V3_DISALLOW_ALL: build_v3,
+}
+
+
+def build_version(version: RobotsVersion) -> RobotsFile:
+    """Build the robots.txt document for an experiment ``version``."""
+    return _BUILDERS[version]()
+
+
+def policy_for_version(version: RobotsVersion) -> RobotsPolicy:
+    """Access policy for an experiment ``version``."""
+    return RobotsPolicy.from_robots(build_version(version))
+
+
+def render_version(version: RobotsVersion) -> str:
+    """robots.txt text for an experiment ``version``."""
+    return build_version(version).render()
+
+
+def all_versions() -> list[RobotsVersion]:
+    """The four versions in deployment order."""
+    return [
+        RobotsVersion.BASE,
+        RobotsVersion.V1_CRAWL_DELAY,
+        RobotsVersion.V2_ENDPOINT,
+        RobotsVersion.V3_DISALLOW_ALL,
+    ]

@@ -1,0 +1,224 @@
+"""Semantic diffing of robots.txt versions.
+
+Textual diffs of robots.txt are noisy (reordering, whitespace, group
+merging).  What an operator — or a longitudinal study like the one the
+paper builds on — actually wants to know is *whose access to what
+changed*.  This module answers that by probing two policies with the
+same agent x path matrix and classifying the transitions.
+
+Used by the experiment tooling to describe the paper's v1→v2→v3
+progression, and usable standalone::
+
+    report = diff_robots(old_text, new_text,
+                         agents=["GPTBot", "Googlebot"],
+                         paths=["/", "/page-data/x", "/secure/a"])
+    for change in report.changes:
+        print(change)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .model import RobotsFile
+from .parser import parse
+from .policy import RobotsPolicy
+
+
+class AccessChange(enum.Enum):
+    """Transition of one (agent, path) access right."""
+
+    GRANTED = "granted"  # deny -> allow
+    REVOKED = "revoked"  # allow -> deny
+    UNCHANGED_ALLOWED = "still allowed"
+    UNCHANGED_DENIED = "still denied"
+
+    @property
+    def changed(self) -> bool:
+        return self in (AccessChange.GRANTED, AccessChange.REVOKED)
+
+
+@dataclass(frozen=True)
+class AccessDelta:
+    """One probed (agent, path) transition."""
+
+    agent: str
+    path: str
+    change: AccessChange
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.agent} x {self.path}: {self.change.value}"
+
+
+@dataclass(frozen=True)
+class DelayDelta:
+    """Crawl-delay transition for one agent."""
+
+    agent: str
+    old_delay: float | None
+    new_delay: float | None
+
+    @property
+    def changed(self) -> bool:
+        return self.old_delay != self.new_delay
+
+
+@dataclass
+class RobotsDiff:
+    """Full semantic diff between two robots.txt documents.
+
+    Attributes:
+        access: every probed (agent, path) transition.
+        delays: crawl-delay transitions per agent.
+        added_agents: agent tokens with a dedicated group only in the
+            new document.
+        removed_agents: tokens with a dedicated group only in the old.
+    """
+
+    access: list[AccessDelta] = field(default_factory=list)
+    delays: list[DelayDelta] = field(default_factory=list)
+    added_agents: list[str] = field(default_factory=list)
+    removed_agents: list[str] = field(default_factory=list)
+
+    @property
+    def changes(self) -> list[AccessDelta]:
+        """Only the transitions that actually changed access."""
+        return [delta for delta in self.access if delta.change.changed]
+
+    @property
+    def revocations(self) -> list[AccessDelta]:
+        return [
+            delta for delta in self.access if delta.change is AccessChange.REVOKED
+        ]
+
+    @property
+    def grants(self) -> list[AccessDelta]:
+        return [
+            delta for delta in self.access if delta.change is AccessChange.GRANTED
+        ]
+
+    @property
+    def is_stricter(self) -> bool:
+        """More access revoked than granted."""
+        return len(self.revocations) > len(self.grants)
+
+    @property
+    def delay_changes(self) -> list[DelayDelta]:
+        return [delta for delta in self.delays if delta.changed]
+
+    def strictness_score(self) -> float:
+        """Net fraction of probes that lost access, in [-1, 1].
+
+        Positive means the new document is stricter.  This is the
+        per-probe analog of the paper's strictness gradient across its
+        four versions.
+        """
+        if not self.access:
+            return 0.0
+        return (len(self.revocations) - len(self.grants)) / len(self.access)
+
+
+#: Default probe paths: one per structural class of the study's sites.
+DEFAULT_PROBE_PATHS: tuple[str, ...] = (
+    "/",
+    "/news/article-001",
+    "/people/person-001",
+    "/page-data/index/page-data.json",
+    "/docs/doc-001",
+    "/404",
+    "/secure/area-000",
+)
+
+#: Default probe agents: one per behavioural class.
+DEFAULT_PROBE_AGENTS: tuple[str, ...] = (
+    "Googlebot",
+    "bingbot",
+    "GPTBot",
+    "ClaudeBot",
+    "ChatGPT-User",
+    "PerplexityBot",
+    "AhrefsBot",
+    "Bytespider",
+    "UnknownBot",
+)
+
+
+def _agent_tokens(robots: RobotsFile) -> set[str]:
+    return {
+        agent.lower()
+        for group in robots.groups
+        for agent in group.user_agents
+        if agent != "*"
+    }
+
+
+def diff_policies(
+    old: RobotsPolicy,
+    new: RobotsPolicy,
+    agents: tuple[str, ...] | list[str] = DEFAULT_PROBE_AGENTS,
+    paths: tuple[str, ...] | list[str] = DEFAULT_PROBE_PATHS,
+) -> RobotsDiff:
+    """Diff two policies over an agent x path probe matrix."""
+    diff = RobotsDiff()
+    for agent in agents:
+        for path in paths:
+            before = old.can_fetch(agent, path)
+            after = new.can_fetch(agent, path)
+            if before and not after:
+                change = AccessChange.REVOKED
+            elif not before and after:
+                change = AccessChange.GRANTED
+            elif after:
+                change = AccessChange.UNCHANGED_ALLOWED
+            else:
+                change = AccessChange.UNCHANGED_DENIED
+            diff.access.append(AccessDelta(agent=agent, path=path, change=change))
+        diff.delays.append(
+            DelayDelta(
+                agent=agent,
+                old_delay=old.crawl_delay(agent),
+                new_delay=new.crawl_delay(agent),
+            )
+        )
+    old_tokens = _agent_tokens(old.robots) if old.robots else set()
+    new_tokens = _agent_tokens(new.robots) if new.robots else set()
+    diff.added_agents = sorted(new_tokens - old_tokens)
+    diff.removed_agents = sorted(old_tokens - new_tokens)
+    return diff
+
+
+def diff_robots(
+    old_text: str,
+    new_text: str,
+    agents: tuple[str, ...] | list[str] = DEFAULT_PROBE_AGENTS,
+    paths: tuple[str, ...] | list[str] = DEFAULT_PROBE_PATHS,
+) -> RobotsDiff:
+    """Diff two robots.txt documents given as text."""
+    return diff_policies(
+        RobotsPolicy.from_robots(parse(old_text)),
+        RobotsPolicy.from_robots(parse(new_text)),
+        agents=agents,
+        paths=paths,
+    )
+
+
+def render_diff(diff: RobotsDiff) -> str:
+    """Human-readable one-line-per-change rendering."""
+    lines: list[str] = []
+    for delta in diff.changes:
+        sign = "-" if delta.change is AccessChange.REVOKED else "+"
+        lines.append(f"{sign} {delta.agent} x {delta.path}")
+    for delay in diff.delay_changes:
+        lines.append(
+            f"~ {delay.agent} crawl-delay: "
+            f"{delay.old_delay or 'none'} -> {delay.new_delay or 'none'}"
+        )
+    for agent in diff.added_agents:
+        lines.append(f"+ group for {agent}")
+    for agent in diff.removed_agents:
+        lines.append(f"- group for {agent}")
+    if not lines:
+        return "(no semantic changes)"
+    lines.append(f"strictness: {diff.strictness_score():+.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""HTTP fetch-outcome semantics for robots.txt per RFC 9309 §2.3.1.
+
+What a crawler must assume when fetching ``/robots.txt`` does not
+return a usable 200 body:
+
+- **2xx**: parse the body.
+- **3xx**: follow up to five redirects, then treat as *unavailable*.
+- **4xx (unavailable)**: crawl as if there were no restrictions.
+- **5xx (unreachable)**: assume complete disallow; if the error
+  persists long enough (the RFC suggests a reasonable period; Google
+  uses 30 days), crawlers MAY fall back to a cached copy or allow-all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .parser import ParserOptions, parse_bytes
+from .policy import RobotsPolicy
+
+#: Maximum redirect hops before treating robots.txt as unavailable.
+MAX_REDIRECTS = 5
+
+
+class FetchDisposition(enum.Enum):
+    """What the fetch outcome means for crawling permissions."""
+
+    PARSED = "parsed"  # 200 with a body: use the parsed rules
+    ALLOW_ALL = "allow_all"  # unavailable (4xx): no restrictions
+    DISALLOW_ALL = "disallow_all"  # unreachable (5xx): full disallow
+
+
+@dataclass(frozen=True)
+class RobotsFetchResult:
+    """Resolution of a robots.txt fetch into a usable policy.
+
+    Attributes:
+        disposition: the RFC 9309 category the outcome fell into.
+        policy: ready-to-use access policy.
+        status: the final HTTP status observed.
+        redirects: how many redirect hops were followed.
+    """
+
+    disposition: FetchDisposition
+    policy: RobotsPolicy
+    status: int
+    redirects: int = 0
+
+
+def classify_status(status: int) -> FetchDisposition:
+    """Map a final HTTP status code to its RFC 9309 disposition."""
+    if 200 <= status < 300:
+        return FetchDisposition.PARSED
+    if 400 <= status < 500:
+        return FetchDisposition.ALLOW_ALL
+    # 5xx, plus anything outlandish (network errors are conventionally
+    # reported as 599 by the web substrate), is "unreachable".
+    return FetchDisposition.DISALLOW_ALL
+
+
+def resolve_fetch(
+    status: int,
+    body: bytes = b"",
+    redirects: int = 0,
+    options: ParserOptions | None = None,
+) -> RobotsFetchResult:
+    """Turn a raw fetch outcome into a :class:`RobotsFetchResult`.
+
+    Args:
+        status: final HTTP status code.
+        body: response body (only consulted for 2xx).
+        redirects: redirect hops already followed; more than
+            :data:`MAX_REDIRECTS` forces the *unavailable* treatment.
+        options: parser knobs forwarded to the parser for 2xx bodies.
+    """
+    if redirects > MAX_REDIRECTS:
+        return RobotsFetchResult(
+            disposition=FetchDisposition.ALLOW_ALL,
+            policy=RobotsPolicy.allow_all(),
+            status=status,
+            redirects=redirects,
+        )
+    disposition = classify_status(status)
+    if disposition is FetchDisposition.PARSED:
+        policy = RobotsPolicy.from_robots(parse_bytes(body, options))
+    elif disposition is FetchDisposition.ALLOW_ALL:
+        policy = RobotsPolicy.allow_all()
+    else:
+        policy = RobotsPolicy.disallow_all()
+    return RobotsFetchResult(
+        disposition=disposition, policy=policy, status=status, redirects=redirects
+    )

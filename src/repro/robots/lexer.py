@@ -1,0 +1,122 @@
+"""Line-level tokenizer for robots.txt documents.
+
+RFC 9309 defines robots.txt as a line-oriented format: each meaningful
+line is ``field ":" value`` with optional ``#`` comments and liberal
+whitespace.  The lexer turns raw text into :class:`Line` records and
+normalizes field names (including the common typo variants that
+real-world parsers accept) without interpreting group structure —
+that is the parser's job.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Field spellings observed in the wild, mapped to canonical names.
+#: Google's open-source parser accepts several misspellings; we mirror
+#: the well-known ones so measurement code behaves like real crawlers.
+_FIELD_ALIASES: dict[str, str] = {
+    "user-agent": "user-agent",
+    "useragent": "user-agent",
+    "user agent": "user-agent",
+    "allow": "allow",
+    "disallow": "disallow",
+    "dissallow": "disallow",
+    "disalow": "disallow",
+    "dissalow": "disallow",
+    "disallaw": "disallow",
+    "crawl-delay": "crawl-delay",
+    "crawldelay": "crawl-delay",
+    "crawl delay": "crawl-delay",
+    "sitemap": "sitemap",
+    "site-map": "sitemap",
+    "host": "host",
+}
+
+
+class LineKind(enum.Enum):
+    """Classification of a robots.txt source line."""
+
+    USER_AGENT = "user-agent"
+    ALLOW = "allow"
+    DISALLOW = "disallow"
+    CRAWL_DELAY = "crawl-delay"
+    SITEMAP = "sitemap"
+    HOST = "host"
+    BLANK = "blank"
+    COMMENT = "comment"
+    INVALID = "invalid"
+
+
+_KIND_BY_FIELD = {
+    "user-agent": LineKind.USER_AGENT,
+    "allow": LineKind.ALLOW,
+    "disallow": LineKind.DISALLOW,
+    "crawl-delay": LineKind.CRAWL_DELAY,
+    "sitemap": LineKind.SITEMAP,
+    "host": LineKind.HOST,
+}
+
+
+@dataclass(frozen=True)
+class Line:
+    """One tokenized robots.txt line.
+
+    Attributes:
+        number: 1-based line number in the source.
+        kind: classification of the line.
+        value: the field value with comments and whitespace stripped
+            (empty for blank/comment/invalid lines).
+        raw: the original line text, without the trailing newline.
+    """
+
+    number: int
+    kind: LineKind
+    value: str
+    raw: str
+
+
+def strip_bom(text: str) -> str:
+    """Remove a UTF-8 byte-order mark if present.
+
+    Servers frequently serve robots.txt with a BOM; without stripping
+    it the first field name would fail to match.
+    """
+    return text[1:] if text.startswith("﻿") else text
+
+
+def tokenize_line(raw: str, number: int) -> Line:
+    """Tokenize a single line into a :class:`Line` record."""
+    # Comments run from the first '#' to end of line.
+    hash_index = raw.find("#")
+    body = raw if hash_index < 0 else raw[:hash_index]
+    stripped = body.strip()
+    if not stripped:
+        kind = LineKind.COMMENT if hash_index >= 0 else LineKind.BLANK
+        return Line(number=number, kind=kind, value="", raw=raw)
+
+    colon_index = stripped.find(":")
+    if colon_index < 0:
+        return Line(number=number, kind=LineKind.INVALID, value="", raw=raw)
+
+    field_name = stripped[:colon_index].strip().lower()
+    value = stripped[colon_index + 1 :].strip()
+    canonical = _FIELD_ALIASES.get(field_name)
+    if canonical is None:
+        return Line(number=number, kind=LineKind.INVALID, value=value, raw=raw)
+    return Line(number=number, kind=_KIND_BY_FIELD[canonical], value=value, raw=raw)
+
+
+def tokenize(text: str) -> list[Line]:
+    """Tokenize a whole robots.txt body into lines.
+
+    Handles ``\\n``, ``\\r\\n`` and bare ``\\r`` line endings, strips a
+    leading BOM, and never raises: malformed lines are classified as
+    :attr:`LineKind.INVALID` for the parser to count and skip.
+    """
+    normalized = strip_bom(text).replace("\r\n", "\n").replace("\r", "\n")
+    return [
+        tokenize_line(raw, number)
+        for number, raw in enumerate(normalized.split("\n"), start=1)
+    ]

@@ -1,0 +1,156 @@
+"""Path matching for robots.txt rules per RFC 9309 section 2.2.2.
+
+Rule paths are matched against request URI paths as byte prefixes with
+two metacharacters:
+
+``*``
+    matches any sequence of characters, including none;
+``$``
+    at the end of a pattern, anchors the match to the end of the path.
+
+Precedence follows the RFC (and Google's reference parser): the rule
+with the **longest pattern** wins; on a tie between an Allow and a
+Disallow rule of equal length, Allow wins.  Percent-encoded octets in
+both pattern and path are normalized before comparison so that
+``/a%3Cd`` and ``/a%3cd`` compare equal while ``%2F`` (encoded slash)
+remains distinct from a literal ``/``.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from dataclasses import dataclass
+
+from .model import Rule, RuleType
+
+#: Characters that must stay percent-encoded to preserve path structure.
+_KEEP_ENCODED = {"/", "?", "#", "%"}
+
+
+def normalize_path(path: str) -> str:
+    """Normalize a URI path (or rule pattern) for matching.
+
+    - ensures a leading ``/`` (empty input becomes ``/``);
+    - uppercases percent-escape hex digits, decodes escapes for
+      unreserved characters, and leaves structural characters
+      (``/ ? # %``) encoded;
+    - leaves ``*`` and ``$`` untouched (they are metacharacters in
+      patterns and legal literals in paths — patterns are compiled
+      separately).
+    """
+    if not path:
+        return "/"
+    if not path.startswith("/") and not path.startswith("*"):
+        path = "/" + path
+
+    out: list[str] = []
+    i = 0
+    while i < len(path):
+        ch = path[i]
+        if ch == "%" and i + 2 < len(path) + 1 and _is_hex_pair(path, i + 1):
+            decoded = chr(int(path[i + 1 : i + 3], 16))
+            if decoded in _KEEP_ENCODED or not decoded.isprintable():
+                out.append("%" + path[i + 1 : i + 3].upper())
+            else:
+                out.append(decoded)
+            i += 3
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _is_hex_pair(text: str, index: int) -> bool:
+    pair = text[index : index + 2]
+    if len(pair) != 2:
+        return False
+    return all(c in "0123456789abcdefABCDEF" for c in pair)
+
+
+@functools.lru_cache(maxsize=4096)
+def compile_pattern(pattern: str) -> re.Pattern[str]:
+    """Compile a robots.txt path pattern to an anchored regex.
+
+    The result matches at the *start* of a normalized path.  A trailing
+    ``$`` anchors the end; interior ``$`` characters are literals
+    (matching Google's parser behaviour).
+    """
+    normalized = normalize_path(pattern)
+    anchored = normalized.endswith("$")
+    if anchored:
+        normalized = normalized[:-1]
+    parts = (re.escape(piece) for piece in normalized.split("*"))
+    regex = ".*".join(parts)
+    if anchored:
+        regex += "$"
+    return re.compile(regex)
+
+
+def pattern_matches(pattern: str, path: str) -> bool:
+    """Whether a rule ``pattern`` matches the request ``path``.
+
+    An empty pattern matches nothing (an empty ``Disallow:`` means
+    "no restriction" per RFC 9309).
+    """
+    if pattern == "":
+        return False
+    return compile_pattern(pattern).match(normalize_path(path)) is not None
+
+
+def pattern_specificity(pattern: str) -> int:
+    """Precedence key for a pattern: its normalized octet length.
+
+    RFC 9309: "The most specific match found MUST be used.  The most
+    specific match is the match that has the most octets."
+    """
+    return len(normalize_path(pattern)) if pattern else 0
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of evaluating a path against a rule set.
+
+    Attributes:
+        allowed: the access decision.
+        rule: the winning rule, or ``None`` when nothing matched
+            (default-allow).
+    """
+
+    allowed: bool
+    rule: Rule | None
+
+    @property
+    def matched(self) -> bool:
+        return self.rule is not None
+
+
+def evaluate_rules(rules: list[Rule], path: str) -> MatchResult:
+    """Apply longest-match / allow-tiebreak precedence to ``rules``.
+
+    Args:
+        rules: rules from the group(s) governing the crawler.
+        path: request URI path (with or without query string; only the
+            path and query participate in matching).
+
+    Returns:
+        a :class:`MatchResult`; ``allowed`` defaults to True when no
+        rule matches.
+    """
+    best_rule: Rule | None = None
+    best_length = -1
+    best_is_allow = False
+    for rule in rules:
+        if rule.is_empty or not pattern_matches(rule.path, path):
+            continue
+        length = pattern_specificity(rule.path)
+        is_allow = rule.is_allow
+        if length > best_length or (
+            length == best_length and is_allow and not best_is_allow
+        ):
+            best_rule = rule
+            best_length = length
+            best_is_allow = is_allow
+    if best_rule is None:
+        return MatchResult(allowed=True, rule=None)
+    return MatchResult(allowed=best_rule.type is RuleType.ALLOW, rule=best_rule)

@@ -1,0 +1,166 @@
+"""RFC 9309 robots.txt parser.
+
+Turns raw text into the :mod:`repro.robots.model` structures.  The
+parser is intentionally forgiving — per the RFC, crawlers "MUST be
+liberal in what they accept": unknown and malformed lines are counted
+and skipped, never fatal.  The only hard failure mode is a document
+larger than the size cap when truncation is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import RobotsSizeError
+from .lexer import Line, LineKind, tokenize
+from .model import Group, RobotsFile, Rule, RuleType
+
+#: RFC 9309 requires parsers to process at least 500 KiB.
+DEFAULT_MAX_BYTES = 500 * 1024
+
+#: Crawl delays above this are clamped: mirrors common crawler practice
+#: of refusing pathological delays (e.g. Yandex caps at ~2 minutes).
+MAX_CRAWL_DELAY_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class ParserOptions:
+    """Knobs controlling parser behaviour.
+
+    Attributes:
+        max_bytes: size cap applied to the document body.
+        truncate_oversize: when True (default, RFC-conformant) parse
+            only the first ``max_bytes``; when False raise
+            :class:`~repro.exceptions.RobotsSizeError`.
+        honor_crawl_delay: when False, ``Crawl-delay`` lines are
+            treated as unknown fields (Googlebot behaviour).
+    """
+
+    max_bytes: int = DEFAULT_MAX_BYTES
+    truncate_oversize: bool = True
+    honor_crawl_delay: bool = True
+
+
+def parse(text: str, options: ParserOptions | None = None) -> RobotsFile:
+    """Parse robots.txt ``text`` into a :class:`RobotsFile`.
+
+    Args:
+        text: the document body (str; callers fetching bytes should
+            decode as UTF-8 with ``errors="replace"`` first — see
+            :func:`parse_bytes`).
+        options: parser knobs; defaults to RFC-conformant behaviour.
+
+    Returns:
+        the parsed document model.  Never raises for malformed content;
+        see :class:`ParserOptions` for the size-cap exception.
+    """
+    opts = options or ParserOptions()
+    encoded = text.encode("utf-8", errors="replace")
+    truncated = False
+    if len(encoded) > opts.max_bytes:
+        if not opts.truncate_oversize:
+            raise RobotsSizeError(
+                f"robots.txt body is {len(encoded)} bytes; cap is {opts.max_bytes}"
+            )
+        text = encoded[: opts.max_bytes].decode("utf-8", errors="replace")
+        truncated = True
+
+    robots = RobotsFile(source_bytes=min(len(encoded), opts.max_bytes), truncated=truncated)
+    state = _ParseState()
+    for line in tokenize(text):
+        _consume(robots, state, line, opts)
+    _flush_group(robots, state)
+    return robots
+
+
+def parse_bytes(body: bytes, options: ParserOptions | None = None) -> RobotsFile:
+    """Parse a raw HTTP response body (bytes) as robots.txt."""
+    return parse(body.decode("utf-8", errors="replace"), options)
+
+
+class _ParseState:
+    """Mutable state threaded through line consumption."""
+
+    __slots__ = ("group", "seen_rule_in_group")
+
+    def __init__(self) -> None:
+        self.group: Group | None = None
+        self.seen_rule_in_group = False
+
+
+def _consume(
+    robots: RobotsFile, state: _ParseState, line: Line, opts: ParserOptions
+) -> None:
+    """Feed one tokenized line into the document being built."""
+    kind = line.kind
+    if kind in (LineKind.BLANK, LineKind.COMMENT):
+        return  # blank lines do NOT end a group per RFC 9309
+    if kind is LineKind.INVALID:
+        robots.invalid_lines += 1
+        return
+    if kind is LineKind.SITEMAP:
+        if line.value:
+            robots.sitemaps.append(line.value)
+        else:
+            robots.invalid_lines += 1
+        return
+    if kind is LineKind.HOST:
+        # Yandex extension; recorded as neither rule nor error.
+        return
+
+    if kind is LineKind.USER_AGENT:
+        token = line.value.strip()
+        if not token:
+            robots.invalid_lines += 1
+            return
+        # Consecutive user-agent lines extend the same group; a
+        # user-agent line after rules starts a new group.
+        if state.group is None or state.seen_rule_in_group:
+            _flush_group(robots, state)
+            state.group = Group()
+            state.seen_rule_in_group = False
+        state.group.user_agents.append(token)
+        return
+
+    # Allow / Disallow / Crawl-delay need an open group.  Rules that
+    # appear before any user-agent line are invalid per the RFC.
+    if state.group is None:
+        robots.invalid_lines += 1
+        return
+
+    if kind is LineKind.ALLOW or kind is LineKind.DISALLOW:
+        rule_type = RuleType.ALLOW if kind is LineKind.ALLOW else RuleType.DISALLOW
+        state.group.rules.append(
+            Rule(type=rule_type, path=line.value, line_number=line.number)
+        )
+        state.seen_rule_in_group = True
+        return
+
+    if kind is LineKind.CRAWL_DELAY:
+        state.seen_rule_in_group = True
+        if not opts.honor_crawl_delay:
+            return
+        delay = _parse_delay(line.value)
+        if delay is None:
+            robots.invalid_lines += 1
+        else:
+            state.group.crawl_delay = min(delay, MAX_CRAWL_DELAY_SECONDS)
+        return
+
+
+def _flush_group(robots: RobotsFile, state: _ParseState) -> None:
+    if state.group is not None and state.group.user_agents:
+        robots.groups.append(state.group)
+    state.group = None
+    state.seen_rule_in_group = False
+
+
+def _parse_delay(value: str) -> float | None:
+    """Parse a crawl-delay value; None when unparseable or negative."""
+    try:
+        delay = float(value)
+    except ValueError:
+        return None
+    if delay < 0 or delay != delay:  # reject negatives and NaN
+        return None
+    return delay

@@ -1,0 +1,226 @@
+"""Validation and linting for robots.txt documents.
+
+The paper validated each experimental robots.txt with Google's
+open-source parser before deployment; this module plays that role.
+:func:`validate` returns a list of findings (never raises) so operator
+tooling can show everything at once, mirroring how linters behave.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .lexer import LineKind, tokenize
+from .model import RobotsFile, RuleType
+from .parser import parse
+
+
+class Severity(enum.Enum):
+    """Finding severity: ERRORs change crawler behaviour, WARNINGs may."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding.
+
+    Attributes:
+        severity: how serious the issue is.
+        code: stable machine-readable identifier (e.g. ``rule-no-group``).
+        message: human-readable explanation.
+        line_number: source line, or ``None`` for document-level findings.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    line_number: int | None = None
+
+
+def validate(text: str) -> list[Finding]:
+    """Lint robots.txt ``text`` and return all findings.
+
+    Checks performed:
+
+    - unparseable lines (no colon, unknown field names);
+    - rules appearing before any ``User-agent`` line;
+    - empty ``User-agent`` values;
+    - rule paths that do not start with ``/`` or ``*``;
+    - unparseable or extreme ``Crawl-delay`` values;
+    - groups with no rules (harmless but usually unintended);
+    - duplicate user-agent tokens across groups (merged per RFC but
+      often a copy-paste accident);
+    - relative ``Sitemap`` URLs.
+    """
+    findings: list[Finding] = []
+    _lint_lines(text, findings)
+    _lint_structure(parse(text), findings)
+    return findings
+
+
+def is_valid(text: str) -> bool:
+    """True when ``text`` has no ERROR-severity findings."""
+    return not any(f.severity is Severity.ERROR for f in validate(text))
+
+
+def _lint_lines(text: str, findings: list[Finding]) -> None:
+    seen_group = False
+    for line in tokenize(text):
+        if line.kind is LineKind.INVALID:
+            findings.append(
+                Finding(
+                    severity=Severity.ERROR,
+                    code="invalid-line",
+                    message=f"unparseable line: {line.raw.strip()!r}",
+                    line_number=line.number,
+                )
+            )
+        elif line.kind is LineKind.USER_AGENT:
+            seen_group = True
+            if not line.value:
+                findings.append(
+                    Finding(
+                        severity=Severity.ERROR,
+                        code="empty-user-agent",
+                        message="User-agent line with empty value",
+                        line_number=line.number,
+                    )
+                )
+        elif line.kind in (LineKind.ALLOW, LineKind.DISALLOW):
+            if not seen_group:
+                findings.append(
+                    Finding(
+                        severity=Severity.ERROR,
+                        code="rule-no-group",
+                        message="Allow/Disallow before any User-agent line is ignored",
+                        line_number=line.number,
+                    )
+                )
+            if line.value and not line.value.startswith(("/", "*")):
+                findings.append(
+                    Finding(
+                        severity=Severity.WARNING,
+                        code="path-not-rooted",
+                        message=(
+                            f"rule path {line.value!r} does not start with '/' or '*'; "
+                            "it will be interpreted as if rooted"
+                        ),
+                        line_number=line.number,
+                    )
+                )
+        elif line.kind is LineKind.CRAWL_DELAY:
+            _lint_delay(line.value, line.number, seen_group, findings)
+        elif line.kind is LineKind.SITEMAP:
+            if line.value and not line.value.lower().startswith(("http://", "https://")):
+                findings.append(
+                    Finding(
+                        severity=Severity.WARNING,
+                        code="sitemap-relative",
+                        message=f"Sitemap URL should be absolute: {line.value!r}",
+                        line_number=line.number,
+                    )
+                )
+
+
+def _lint_delay(
+    value: str, line_number: int, seen_group: bool, findings: list[Finding]
+) -> None:
+    if not seen_group:
+        findings.append(
+            Finding(
+                severity=Severity.ERROR,
+                code="delay-no-group",
+                message="Crawl-delay before any User-agent line is ignored",
+                line_number=line_number,
+            )
+        )
+    try:
+        delay = float(value)
+    except ValueError:
+        findings.append(
+            Finding(
+                severity=Severity.ERROR,
+                code="delay-not-numeric",
+                message=f"Crawl-delay value is not a number: {value!r}",
+                line_number=line_number,
+            )
+        )
+        return
+    if delay < 0:
+        findings.append(
+            Finding(
+                severity=Severity.ERROR,
+                code="delay-negative",
+                message="Crawl-delay must be non-negative",
+                line_number=line_number,
+            )
+        )
+    elif delay > 300:
+        findings.append(
+            Finding(
+                severity=Severity.WARNING,
+                code="delay-extreme",
+                message=(
+                    f"Crawl-delay of {delay:g}s is extreme; many crawlers "
+                    "cap or ignore values this large"
+                ),
+                line_number=line_number,
+            )
+        )
+
+
+def _lint_structure(robots: RobotsFile, findings: list[Finding]) -> None:
+    seen_agents: dict[str, int] = {}
+    for index, group in enumerate(robots.groups):
+        if not group.rules and group.crawl_delay is None:
+            findings.append(
+                Finding(
+                    severity=Severity.INFO,
+                    code="empty-group",
+                    message=(
+                        f"group for {', '.join(group.user_agents)} has no rules"
+                    ),
+                )
+            )
+        for agent in group.user_agents:
+            key = agent.lower()
+            if key in seen_agents and seen_agents[key] != index:
+                findings.append(
+                    Finding(
+                        severity=Severity.WARNING,
+                        code="duplicate-agent",
+                        message=(
+                            f"user-agent {agent!r} appears in multiple groups; "
+                            "RFC 9309 merges their rules"
+                        ),
+                    )
+                )
+            seen_agents.setdefault(key, index)
+        _lint_shadowed_rules(group, findings)
+
+
+def _lint_shadowed_rules(group, findings: list[Finding]) -> None:
+    """Flag a blanket 'Disallow: /' that shadows later allow rules."""
+    for position, rule in enumerate(group.rules):
+        if rule.type is RuleType.DISALLOW and rule.path == "/":
+            later_allows = [
+                later
+                for later in group.rules[position + 1 :]
+                if later.type is RuleType.ALLOW and later.path == "/"
+            ]
+            for later in later_allows:
+                findings.append(
+                    Finding(
+                        severity=Severity.WARNING,
+                        code="conflicting-root-rules",
+                        message=(
+                            "group has both 'Disallow: /' and 'Allow: /'; "
+                            "Allow wins the length tie, which may be unintended"
+                        ),
+                        line_number=later.line_number or None,
+                    )
+                )

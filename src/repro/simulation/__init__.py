@@ -1,0 +1,33 @@
+"""Simulation: clock, anonymization, scenario, noise, engine."""
+
+from .clock import (
+    SECONDS_PER_DAY,
+    add_days,
+    day_range,
+    days_between,
+    epoch,
+    iso_day,
+)
+from .engine import SimulationEngine, StudyDataset, run_study
+from .iphash import IpAnonymizer, generate_ip_pool
+from .noise import NoiseModel
+from .scenario import Phase, StudyScenario, default_scenario, quick_scenario
+
+__all__ = [
+    "IpAnonymizer",
+    "NoiseModel",
+    "Phase",
+    "SECONDS_PER_DAY",
+    "SimulationEngine",
+    "StudyDataset",
+    "StudyScenario",
+    "add_days",
+    "day_range",
+    "days_between",
+    "default_scenario",
+    "epoch",
+    "generate_ip_pool",
+    "iso_day",
+    "quick_scenario",
+    "run_study",
+]

@@ -1,0 +1,48 @@
+"""IP anonymization: the one-way hash the paper applied for IRB
+compliance, plus deterministic IP-pool assignment for simulated agents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Length of the hex digest kept in logs (collision-safe at study scale).
+HASH_LENGTH = 16
+
+
+class IpAnonymizer:
+    """Salted one-way IP hasher.
+
+    The salt models the study's secret hashing key: the same IP always
+    maps to the same hash within a study, but hashes are not reversible
+    and differ across salts.
+    """
+
+    def __init__(self, salt: str = "repro-study-2025") -> None:
+        self._salt = salt.encode("utf-8")
+        self._cache: dict[str, str] = {}
+
+    def hash_ip(self, ip: str) -> str:
+        """Anonymize one IP address."""
+        cached = self._cache.get(ip)
+        if cached is None:
+            digest = hashlib.sha256(self._salt + ip.encode("utf-8")).hexdigest()
+            cached = digest[:HASH_LENGTH]
+            self._cache[ip] = cached
+        return cached
+
+    def __call__(self, ip: str) -> str:
+        return self.hash_ip(ip)
+
+
+def generate_ip_pool(rng: np.random.Generator, count: int) -> list[str]:
+    """Draw ``count`` distinct plausible public IPv4 addresses."""
+    pool: set[str] = set()
+    while len(pool) < count:
+        octets = rng.integers(1, 255, size=4)
+        if octets[0] in (10, 127, 172, 192):
+            continue  # skip common private/loopback first octets
+        pool.add(".".join(str(int(octet)) for octet in octets))
+    return sorted(pool)

@@ -1,0 +1,80 @@
+"""Bot category taxonomy (after Dark Visitors, as used in the paper).
+
+The paper maps standardized bot names onto the category list published
+by Dark Visitors (darkvisitors.com) and analyzes *category-level*
+behaviour throughout (Tables 5, Figures 2-4 and 10).  This module is
+the single source of truth for those categories.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BotCategory(enum.Enum):
+    """Dark Visitors bot categories, plus the paper's "Other" bucket."""
+
+    AI_AGENT = "AI Agents"
+    AI_ASSISTANT = "AI Assistants"
+    AI_DATA_SCRAPER = "AI Data Scrapers"
+    AI_SEARCH_CRAWLER = "AI Search Crawlers"
+    ARCHIVER = "Archivers"
+    DEVELOPER_HELPER = "Developer Helpers"
+    FETCHER = "Fetchers"
+    HEADLESS_BROWSER = "Headless Browsers"
+    INTELLIGENCE_GATHERER = "Intelligence Gatherers"
+    SCRAPER = "Scrapers"
+    SEARCH_ENGINE_CRAWLER = "Search Engine Crawlers"
+    SEO_CRAWLER = "SEO Crawlers"
+    UNDOCUMENTED_AI_AGENT = "Undocumented AI Agents"
+    OTHER = "Other"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_ai(self) -> bool:
+        """Whether the category is AI-related (used in §5.1 analysis)."""
+        return self in _AI_CATEGORIES
+
+    @classmethod
+    def from_label(cls, label: str) -> "BotCategory":
+        """Resolve a human label (case-insensitive) to a category.
+
+        Unknown labels map to :attr:`OTHER`, mirroring the paper's
+        treatment of uncategorized bots.
+        """
+        wanted = label.strip().lower()
+        for category in cls:
+            if category.value.lower() == wanted:
+                return category
+        singular = wanted.rstrip("s")
+        for category in cls:
+            if category.value.lower().rstrip("s") == singular:
+                return category
+        return cls.OTHER
+
+
+_AI_CATEGORIES = frozenset(
+    {
+        BotCategory.AI_AGENT,
+        BotCategory.AI_ASSISTANT,
+        BotCategory.AI_DATA_SCRAPER,
+        BotCategory.AI_SEARCH_CRAWLER,
+        BotCategory.UNDOCUMENTED_AI_AGENT,
+    }
+)
+
+
+class RobotsPromise(enum.Enum):
+    """Whether a bot's operator publicly promises to respect robots.txt.
+
+    Mirrors the "Promise to respect robots.txt" column of Table 6.
+    """
+
+    YES = "Yes"
+    NO = "No"
+    UNKNOWN = "Unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

@@ -1,0 +1,103 @@
+"""Fuzzy string matching for bot-name standardization.
+
+The paper standardizes self-declared bot names "via fuzzy string
+matching with a public dataset of common useragent strings".  This
+module implements the matching primitive: a normalized Levenshtein
+similarity plus a best-candidate search with a similarity floor, so
+``"GoogleBot"``, ``"googlebot/2.1"`` and ``"Google Bot"`` all collapse
+to the canonical ``"Googlebot"``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+#: Default similarity floor below which no match is reported.  Chosen
+#: conservatively: bot names are short, so a couple of edits already
+#: indicate a different bot.
+DEFAULT_THRESHOLD = 0.82
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute, all cost 1).
+
+    Iterative two-row implementation: O(len(a) * len(b)) time,
+    O(min(len)) space.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalize_name(name: str) -> str:
+    """Normalize a bot name for comparison.
+
+    Lowercases, strips version suffixes (``/2.1``), and removes
+    separators that vary between sightings of the same bot
+    (space, dash, underscore, dot).
+    """
+    base = name.strip().lower()
+    slash = base.find("/")
+    if slash > 0:
+        suffix = base[slash + 1 :]
+        if suffix[:1].isdigit():
+            base = base[:slash]
+    return "".join(ch for ch in base if ch not in " -_.")
+
+
+def similarity(a: str, b: str) -> float:
+    """Normalized similarity in [0, 1] on normalized names."""
+    norm_a, norm_b = normalize_name(a), normalize_name(b)
+    if not norm_a and not norm_b:
+        return 1.0
+    longest = max(len(norm_a), len(norm_b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(norm_a, norm_b) / longest
+
+
+def best_match(
+    name: str,
+    candidates: Iterable[str],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[str, float] | None:
+    """Find the candidate most similar to ``name``.
+
+    Args:
+        name: the observed (possibly mangled) bot name.
+        candidates: canonical names to compare against.
+        threshold: minimum similarity to report a match.
+
+    Returns:
+        ``(candidate, similarity)`` for the best candidate at or above
+        ``threshold``, preferring exact normalized equality; ``None``
+        when nothing is close enough.
+    """
+    best: tuple[str, float] | None = None
+    target = normalize_name(name)
+    for candidate in candidates:
+        if normalize_name(candidate) == target:
+            return candidate, 1.0
+        score = similarity(name, candidate)
+        if score >= threshold and (best is None or score > best[1]):
+            best = (candidate, score)
+    return best

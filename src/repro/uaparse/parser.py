@@ -1,0 +1,131 @@
+"""Structural parser for HTTP User-Agent header values.
+
+A User-Agent value is a sequence of *product tokens*
+(``name/version``) interleaved with parenthesized *comments*
+(RFC 9110 §10.1.5).  Well-known bots usually embed their identity as a
+product token (``Googlebot/2.1``) or inside a comment
+(``(compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)``);
+this parser exposes both so the registry can match either.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_PRODUCT_RE = re.compile(r"([A-Za-z0-9._!#$%&'*+^`|~-]+)(?:/([\w.+-]*))?")
+
+
+@dataclass(frozen=True)
+class ProductToken:
+    """One ``name/version`` product token."""
+
+    name: str
+    version: str | None = None
+
+    def __str__(self) -> str:
+        return self.name if self.version is None else f"{self.name}/{self.version}"
+
+
+@dataclass(frozen=True)
+class UserAgent:
+    """A parsed User-Agent header value.
+
+    Attributes:
+        raw: the original header value.
+        products: product tokens in order of appearance.
+        comments: contents of parenthesized comments, outermost level,
+            in order of appearance.
+    """
+
+    raw: str
+    products: tuple[ProductToken, ...] = ()
+    comments: tuple[str, ...] = ()
+
+    @property
+    def primary(self) -> ProductToken | None:
+        """The leading product token, if any."""
+        return self.products[0] if self.products else None
+
+    @property
+    def comment_tokens(self) -> tuple[str, ...]:
+        """Semicolon-separated fragments of all comments, stripped."""
+        fragments: list[str] = []
+        for comment in self.comments:
+            fragments.extend(
+                piece.strip() for piece in comment.split(";") if piece.strip()
+            )
+        return tuple(fragments)
+
+    def all_identifiers(self) -> tuple[str, ...]:
+        """Every name that could identify the agent (products + comment
+        fragments with versions/URLs stripped)."""
+        names = [product.name for product in self.products]
+        for fragment in self.comment_tokens:
+            if fragment.startswith("+"):
+                continue  # info URL, not an identity
+            match = _PRODUCT_RE.match(fragment)
+            if match:
+                names.append(match.group(1))
+        return tuple(names)
+
+    def mentions(self, token: str) -> bool:
+        """Case-insensitive substring check across the raw value."""
+        return token.lower() in self.raw.lower()
+
+
+def parse_user_agent(value: str) -> UserAgent:
+    """Parse a User-Agent header ``value``.
+
+    Never raises; unparseable regions are skipped.  An empty or
+    whitespace value yields a :class:`UserAgent` with no products.
+    """
+    raw = value or ""
+    products: list[ProductToken] = []
+    comments: list[str] = []
+    i = 0
+    length = len(raw)
+    while i < length:
+        ch = raw[i]
+        if ch == "(":
+            end, comment = _scan_comment(raw, i)
+            comments.append(comment)
+            i = end
+        elif ch.isspace():
+            i += 1
+        else:
+            match = _PRODUCT_RE.match(raw, i)
+            if match is None:
+                i += 1
+                continue
+            name, version = match.group(1), match.group(2)
+            products.append(ProductToken(name=name, version=version or None))
+            i = match.end()
+    return UserAgent(raw=raw, products=tuple(products), comments=tuple(comments))
+
+
+def _scan_comment(raw: str, start: int) -> tuple[int, str]:
+    """Scan a parenthesized comment starting at ``raw[start] == '('``.
+
+    Returns (index just past the closing paren, comment body).  Nested
+    parentheses are kept verbatim inside the body; an unterminated
+    comment runs to end of string.
+    """
+    depth = 0
+    body: list[str] = []
+    i = start
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "(":
+            depth += 1
+            if depth > 1:
+                body.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1, "".join(body)
+            body.append(ch)
+        else:
+            body.append(ch)
+        i += 1
+    return i, "".join(body)

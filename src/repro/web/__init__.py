@@ -1,0 +1,32 @@
+"""In-memory web substrate: messages, sites, server, site generator."""
+
+from .generator import (
+    EXPERIMENT_SITE,
+    PASSIVE_ROBOTS_SITES,
+    SITE_THEMES,
+    build_site,
+    build_university_sites,
+    site_hostnames,
+)
+from .message import REASON_PHRASES, Request, Response, make_body_response
+from .server import AccessHook, WebServer
+from .site import ROBOTS_PATH, SITEMAP_PATH, Page, Website
+
+__all__ = [
+    "AccessHook",
+    "EXPERIMENT_SITE",
+    "PASSIVE_ROBOTS_SITES",
+    "Page",
+    "REASON_PHRASES",
+    "ROBOTS_PATH",
+    "Request",
+    "Response",
+    "SITEMAP_PATH",
+    "SITE_THEMES",
+    "WebServer",
+    "Website",
+    "build_site",
+    "build_university_sites",
+    "make_body_response",
+    "site_hostnames",
+]

@@ -1,0 +1,94 @@
+"""HTTP request/response model for the in-memory web substrate.
+
+Only the fields that matter for access-log analysis are modeled; this
+is a measurement substrate, not a protocol implementation.  Timestamps
+are epoch seconds on the simulation's virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Reason phrases for the status codes the substrate emits.
+REASON_PHRASES: dict[int, str] = {
+    200: "OK",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP request as seen by the server.
+
+    Attributes:
+        host: target site hostname (the log's ``sitename``).
+        path: URI path, optionally with query string.
+        user_agent: raw User-Agent header value ("" when absent).
+        client_ip: requester IP (hashed later for the log).
+        asn: autonomous system of the requester.
+        timestamp: virtual epoch seconds when the request arrived.
+        method: HTTP method; scraping traffic is essentially all GET.
+        referer: Referer header value, if any.
+    """
+
+    host: str
+    path: str
+    user_agent: str
+    client_ip: str
+    asn: int
+    timestamp: float
+    method: str = "GET"
+    referer: str | None = None
+
+    @property
+    def url(self) -> str:
+        return f"https://{self.host}{self.path}"
+
+    @property
+    def path_only(self) -> str:
+        """Path with any query string removed."""
+        question = self.path.find("?")
+        return self.path if question < 0 else self.path[:question]
+
+
+@dataclass(frozen=True)
+class Response:
+    """Server response summary.
+
+    Attributes:
+        status: HTTP status code.
+        body_bytes: bytes transmitted (the log's ``bytes`` field).
+        content_type: MIME type of the body.
+        body: actual payload, carried only when the caller needs it
+            (robots.txt fetches); page bodies are size-only.
+        location: redirect target for 3xx responses.
+    """
+
+    status: int
+    body_bytes: int = 0
+    content_type: str = "text/html"
+    body: bytes | None = None
+    location: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+
+def make_body_response(body: bytes, content_type: str) -> Response:
+    """A 200 response that actually carries ``body``."""
+    return Response(
+        status=200, body_bytes=len(body), content_type=content_type, body=body
+    )

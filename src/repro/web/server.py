@@ -1,0 +1,74 @@
+"""In-memory web server: routing, response synthesis, access-log hooks.
+
+The server answers :class:`~repro.web.message.Request` objects against
+its hosted :class:`~repro.web.site.Website` instances and notifies
+access-log hooks of every exchange.  It is the single point all
+simulated traffic flows through, which is exactly the position the
+paper's institutional logging infrastructure occupied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .message import Request, Response, make_body_response
+from .site import ROBOTS_PATH, SITEMAP_PATH, Website
+
+#: Hook signature: called once per handled exchange.
+AccessHook = Callable[[Request, Response], None]
+
+#: Size of the small HTML body served for 404s.
+NOT_FOUND_BYTES = 1024
+
+
+@dataclass
+class WebServer:
+    """Serve a set of websites and fan exchanges out to log hooks."""
+
+    sites: dict[str, Website] = field(default_factory=dict)
+    hooks: list[AccessHook] = field(default_factory=list)
+    requests_handled: int = 0
+
+    def host(self, site: Website) -> None:
+        """Start serving ``site`` (replaces any same-hostname site)."""
+        self.sites[site.hostname] = site
+
+    def add_hook(self, hook: AccessHook) -> None:
+        self.hooks.append(hook)
+
+    def site(self, hostname: str) -> Website | None:
+        return self.sites.get(hostname)
+
+    # -- request handling ------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Route one request and return the response (hooks notified)."""
+        response = self._route(request)
+        self.requests_handled += 1
+        for hook in self.hooks:
+            hook(request, response)
+        return response
+
+    def _route(self, request: Request) -> Response:
+        site = self.sites.get(request.host)
+        if site is None:
+            return Response(status=404, body_bytes=NOT_FOUND_BYTES)
+        path = request.path_only
+        if path == ROBOTS_PATH:
+            return self._serve_robots(site, request.timestamp)
+        if path == SITEMAP_PATH or path == "/sitemap.xml":
+            body = site.sitemap_xml().encode("utf-8")
+            return make_body_response(body, "application/xml")
+        page = site.lookup(path)
+        if page is None:
+            return Response(status=404, body_bytes=NOT_FOUND_BYTES)
+        return Response(
+            status=200, body_bytes=page.size_bytes, content_type=page.content_type
+        )
+
+    def _serve_robots(self, site: Website, timestamp: float) -> Response:
+        if site.robots_status != 200:
+            return Response(status=site.robots_status, body_bytes=0)
+        body = site.robots_at(timestamp).encode("utf-8")
+        return make_body_response(body, "text/plain")

@@ -1,0 +1,26 @@
+"""Shared fixtures: one small simulated study reused across tests.
+
+The compressed-calendar simulation is session-scoped because it takes
+a couple of seconds; tests must treat the dataset and analysis as
+read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import StudyAnalysis
+from repro.simulation import SimulationEngine, quick_scenario
+
+
+@pytest.fixture(scope="session")
+def quick_dataset():
+    """A small but complete study: 3-day phases, scale 0.3."""
+    engine = SimulationEngine(scenario=quick_scenario(scale=0.3, seed=7))
+    return engine.run()
+
+
+@pytest.fixture(scope="session")
+def quick_analysis(quick_dataset):
+    """Preprocessed analysis over the quick dataset."""
+    return StudyAnalysis(quick_dataset)

@@ -1,0 +1,118 @@
+"""Unit tests for the adaptation-lag analysis."""
+
+from repro.analysis.adaptation import (
+    adaptation_by_bot,
+    adaptation_result,
+    behaviour_lag,
+    discovery_lag,
+)
+from repro.analysis.compliance import Directive
+from repro.logs.schema import LogRecord
+
+HOUR = 3600.0
+DEPLOY = 1_000_000.0
+
+
+def record(offset_hours: float, path: str = "/a", ua: str = "Bot/1") -> LogRecord:
+    return LogRecord(
+        useragent=ua,
+        timestamp=DEPLOY + offset_hours * HOUR,
+        ip_hash="ip",
+        asn=1,
+        sitename="s",
+        uri_path=path,
+        status_code=200,
+        bytes_sent=1,
+        bot_name="Bot",
+    )
+
+
+class TestDiscoveryLag:
+    def test_first_fetch_after_deploy(self):
+        records = [record(1.0), record(6.0, path="/robots.txt"), record(8.0)]
+        assert discovery_lag(records, DEPLOY) == 6.0
+
+    def test_never_fetched(self):
+        assert discovery_lag([record(1.0), record(2.0)], DEPLOY) is None
+
+    def test_pre_deploy_fetches_ignored(self):
+        records = [record(-5.0, path="/robots.txt"), record(3.0, path="/robots.txt")]
+        assert discovery_lag(records, DEPLOY) == 3.0
+
+
+class TestBehaviourLag:
+    def test_immediate_adaptation(self):
+        # Fully compliant from hour zero (disallow metric: robots only).
+        records = [record(i, path="/robots.txt") for i in range(10)]
+        lag, phase = behaviour_lag(records, DEPLOY, Directive.DISALLOW_ALL)
+        assert lag == 0.0
+        assert phase == 1.0
+
+    def test_delayed_adaptation(self):
+        # Day 1: noncompliant; day 2 onward: compliant.
+        records = [record(i, path="/x") for i in range(0, 20, 2)]
+        records += [record(30 + i, path="/robots.txt") for i in range(40)]
+        lag, phase = behaviour_lag(records, DEPLOY, Directive.DISALLOW_ALL)
+        assert lag is not None
+        assert lag >= 24.0  # first compliant window starts on day 2
+
+    def test_never_adapts_still_reports_phase_level(self):
+        records = [record(i, path="/x") for i in range(20)]
+        lag, phase = behaviour_lag(records, DEPLOY, Directive.DISALLOW_ALL)
+        # Phase level is 0.0, and the first window trivially reaches it.
+        assert phase == 0.0
+        assert lag == 0.0
+
+    def test_no_records(self):
+        lag, phase = behaviour_lag([], DEPLOY, Directive.DISALLOW_ALL)
+        assert lag is None
+        assert phase == 0.0
+
+
+class TestAdaptationResult:
+    def test_combined(self):
+        records = [record(2.0, path="/robots.txt")] + [
+            record(2.0 + i, path="/robots.txt") for i in range(5)
+        ]
+        result = adaptation_result("Bot", records, DEPLOY, Directive.DISALLOW_ALL)
+        assert result.discovered
+        assert result.discovery_lag_hours == 2.0
+        assert result.adapted
+
+
+class TestByBot:
+    def test_grouping_and_floor(self):
+        rich = [record(i, path="/robots.txt") for i in range(12)]
+        sparse = [record(1.0)]
+        results = adaptation_by_bot(
+            {Directive.DISALLOW_ALL: {"Rich": rich, "Sparse": sparse}},
+            {Directive.DISALLOW_ALL: DEPLOY},
+        )
+        assert "Rich" in results
+        assert "Sparse" not in results
+        assert results["Rich"][Directive.DISALLOW_ALL].adapted
+
+    def test_end_to_end_on_simulation(self, quick_analysis):
+        """Bots that check robots.txt discover new versions within the
+        phase; the measurement must produce finite lags for them."""
+        from repro.logs.preprocess import records_by_bot
+        from repro.reporting.study import VERSION_DIRECTIVES
+
+        directive_records = {
+            directive: records_by_bot(records)
+            for directive, records in quick_analysis.directive_records.items()
+        }
+        deployments = {
+            directive: quick_analysis.scenario.phase_for_version(version).start
+            for version, directive in VERSION_DIRECTIVES.items()
+        }
+        results = adaptation_by_bot(directive_records, deployments)
+        assert results
+        discovered = [
+            result
+            for per_directive in results.values()
+            for result in per_directive.values()
+            if result.discovered
+        ]
+        assert discovered
+        assert all(result.discovery_lag_hours >= 0 for result in discovered)

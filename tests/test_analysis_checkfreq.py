@@ -1,0 +1,143 @@
+"""Unit tests for the robots.txt check-frequency analysis (§5.1)."""
+
+from repro.analysis.checkfreq import (
+    bot_recheck_result,
+    recheck_by_category,
+    skipped_check_rows,
+)
+from repro.analysis.compliance import Directive
+from repro.logs.schema import LogRecord
+from repro.uaparse.categories import BotCategory
+
+HOUR = 3600.0
+
+
+def record(
+    timestamp: float,
+    path: str = "/a",
+    bot: str = "GPTBot",
+    ua: str = "GPTBot/1.2",
+) -> LogRecord:
+    return LogRecord(
+        useragent=ua,
+        timestamp=timestamp,
+        ip_hash="ip",
+        asn=1,
+        sitename="library.university.edu",
+        uri_path=path,
+        status_code=200,
+        bytes_sent=1,
+        bot_name=bot,
+        bot_category=BotCategory.AI_DATA_SCRAPER,
+    )
+
+
+class TestRecheckResult:
+    def test_never_fetches(self):
+        result = bot_recheck_result("GPTBot", [record(i * HOUR) for i in range(48)])
+        assert result.first_fetch is None
+        assert not any(result.within.values())
+
+    def test_checks_every_six_hours_satisfies_all_windows(self):
+        records = []
+        for i in range(0, 168, 6):
+            records.append(record(i * HOUR, path="/robots.txt"))
+            records.append(record(i * HOUR + 60, path="/a"))
+        result = bot_recheck_result("GPTBot", records)
+        assert all(result.within.values())
+
+    def test_checks_daily_fails_12h_window(self):
+        records = []
+        for i in range(0, 168, 24):
+            records.append(record(i * HOUR, path="/robots.txt"))
+            records.append(record(i * HOUR + 60, path="/a"))
+        result = bot_recheck_result("GPTBot", records)
+        assert not result.within[12]
+        assert result.within[24]
+        assert result.within[168]
+
+    def test_single_check_then_long_activity(self):
+        records = [record(0, path="/robots.txt")]
+        records += [record(i * HOUR, path="/a") for i in range(1, 400)]
+        result = bot_recheck_result("GPTBot", records)
+        assert not result.within[168]
+
+    def test_category_resolved_from_registry(self):
+        result = bot_recheck_result("GPTBot", [record(0, path="/robots.txt")])
+        assert result.category is BotCategory.AI_DATA_SCRAPER
+
+
+class TestRecheckByCategory:
+    def test_proportions(self):
+        frequent = []
+        for i in range(0, 336, 6):
+            frequent.append(
+                record(i * HOUR, path="/robots.txt", bot="Scrapy", ua="Scrapy/2.0")
+            )
+        never = [
+            record(i * HOUR, bot="HeadlessChrome", ua="HeadlessChrome/120")
+            for i in range(48)
+        ]
+        proportions = recheck_by_category(frequent + never)
+        assert proportions[BotCategory.SCRAPER][12] == 1.0
+        assert proportions[BotCategory.HEADLESS_BROWSER][168] == 0.0
+
+    def test_min_access_floor(self):
+        sparse = [record(0, path="/robots.txt")]
+        assert recheck_by_category(sparse, min_accesses=5) == {}
+
+
+class TestSkippedCheckRows:
+    def test_bot_that_never_checked_is_listed(self):
+        per_directive = {
+            Directive.CRAWL_DELAY: {
+                "NoCheckBot": [record(i * 40.0, bot="NoCheckBot") for i in range(10)]
+            },
+            Directive.ENDPOINT: {
+                "NoCheckBot": [record(i + 500, bot="NoCheckBot") for i in range(10)]
+            },
+            Directive.DISALLOW_ALL: {
+                "NoCheckBot": [record(i + 900, bot="NoCheckBot") for i in range(10)]
+            },
+        }
+        rows = skipped_check_rows(per_directive)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.bot_name == "NoCheckBot"
+        assert not any(row.checked.values())
+        assert row.compliance[Directive.CRAWL_DELAY] == 1.0
+
+    def test_bot_that_always_checked_not_listed(self):
+        windows = {}
+        for offset, directive in enumerate(Directive):
+            windows[directive] = {
+                "GoodBot": [
+                    record(offset * 1000 + i, path="/robots.txt", bot="GoodBot")
+                    for i in range(6)
+                ]
+            }
+        assert skipped_check_rows(windows) == []
+
+    def test_partial_checker_listed(self):
+        windows = {
+            Directive.CRAWL_DELAY: {
+                "PartialBot": [
+                    record(i, path="/robots.txt", bot="PartialBot") for i in range(6)
+                ]
+            },
+            Directive.ENDPOINT: {
+                "PartialBot": [record(i + 100, bot="PartialBot") for i in range(6)]
+            },
+        }
+        rows = skipped_check_rows(windows)
+        assert len(rows) == 1
+        assert rows[0].checked[Directive.CRAWL_DELAY]
+        assert not rows[0].checked[Directive.ENDPOINT]
+
+    def test_below_floor_ignored(self):
+        windows = {
+            Directive.CRAWL_DELAY: {
+                "TinyBot": [record(i, bot="TinyBot") for i in range(3)]
+            }
+        }
+        assert skipped_check_rows(windows) == []

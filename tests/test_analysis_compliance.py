@@ -1,0 +1,132 @@
+"""Unit tests for the paper's three compliance metrics (§4.2)."""
+
+from repro.analysis.compliance import (
+    Directive,
+    checked_robots,
+    crawl_delay_sample,
+    disallow_sample,
+    endpoint_sample,
+    sample_for,
+    tau_groups,
+)
+from repro.logs.schema import LogRecord
+
+
+def record(
+    timestamp: float,
+    path: str = "/a",
+    ip: str = "ip1",
+    ua: str = "Bot/1.0",
+    asn: int = 1,
+) -> LogRecord:
+    return LogRecord(
+        useragent=ua,
+        timestamp=timestamp,
+        ip_hash=ip,
+        asn=asn,
+        sitename="s",
+        uri_path=path,
+        status_code=200,
+        bytes_sent=1,
+    )
+
+
+class TestTauGroups:
+    def test_stratification(self):
+        records = [
+            record(0, ip="a"),
+            record(1, ip="a", asn=2),
+            record(2, ip="b"),
+        ]
+        groups = tau_groups(records)
+        assert len(groups) == 3
+
+    def test_sorted_within_group(self):
+        groups = tau_groups([record(5), record(1), record(3)])
+        (group,) = groups.values()
+        assert [r.timestamp for r in group] == [1, 3, 5]
+
+
+class TestCrawlDelay:
+    def test_all_deltas_compliant(self):
+        sample = crawl_delay_sample([record(0), record(40), record(90)])
+        assert sample.successes == 2 and sample.trials == 2
+
+    def test_no_deltas_compliant(self):
+        sample = crawl_delay_sample([record(0), record(5), record(15)])
+        assert sample.successes == 0 and sample.trials == 2
+
+    def test_threshold_boundary_inclusive(self):
+        sample = crawl_delay_sample([record(0), record(30)])
+        assert sample.successes == 1
+
+    def test_just_below_threshold(self):
+        sample = crawl_delay_sample([record(0), record(29.9)])
+        assert sample.successes == 0
+
+    def test_single_access_counts_compliant(self):
+        """The paper: a tuple with one access counts as compliant."""
+        sample = crawl_delay_sample([record(0)])
+        assert sample.successes == 1 and sample.trials == 1
+
+    def test_deltas_computed_per_tau_tuple(self):
+        # Two IPs interleaved: deltas never cross tuples.
+        records = [
+            record(0, ip="a"),
+            record(1, ip="b"),
+            record(40, ip="a"),
+            record(45, ip="b"),
+        ]
+        sample = crawl_delay_sample(records)
+        # a: delta 40 (ok); b: delta 44 (ok).
+        assert sample.successes == 2 and sample.trials == 2
+
+    def test_custom_threshold(self):
+        sample = crawl_delay_sample(
+            [record(0), record(10)], threshold_seconds=5.0
+        )
+        assert sample.successes == 1
+
+
+class TestEndpoint:
+    def test_page_data_counts(self):
+        sample = endpoint_sample(
+            [record(0, path="/page-data/x/page-data.json"), record(1, path="/a")]
+        )
+        assert sample.successes == 1 and sample.trials == 2
+
+    def test_robots_counts_as_compliant(self):
+        sample = endpoint_sample([record(0, path="/robots.txt")])
+        assert sample.successes == 1
+
+    def test_all_other_paths_noncompliant(self):
+        sample = endpoint_sample([record(0, path="/news/a"), record(1, path="/")])
+        assert sample.successes == 0
+
+
+class TestDisallow:
+    def test_only_robots_compliant(self):
+        sample = disallow_sample(
+            [
+                record(0, path="/robots.txt"),
+                record(1, path="/page-data/x"),
+                record(2, path="/a"),
+            ]
+        )
+        assert sample.successes == 1 and sample.trials == 3
+
+    def test_robots_with_query(self):
+        sample = disallow_sample([record(0, path="/robots.txt?x=1")])
+        assert sample.successes == 1
+
+
+class TestDispatch:
+    def test_sample_for_each_directive(self):
+        records = [record(0, path="/robots.txt"), record(40, path="/a")]
+        assert sample_for(Directive.CRAWL_DELAY, records).trials == 1
+        assert sample_for(Directive.ENDPOINT, records).successes == 1
+        assert sample_for(Directive.DISALLOW_ALL, records).successes == 1
+
+    def test_checked_robots(self):
+        assert checked_robots([record(0, path="/robots.txt")])
+        assert not checked_robots([record(0, path="/a")])

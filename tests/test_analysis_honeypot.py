@@ -1,0 +1,116 @@
+"""Unit tests for honeypot-based spoof confirmation."""
+
+from repro.analysis.honeypot import (
+    HoneypotVerdict,
+    confirm_spoofers,
+    confirmation_rate,
+    is_trap_path,
+    trap_hits,
+)
+from repro.analysis.spoofing import find_spoofed_bots
+from repro.logs.schema import LogRecord
+
+
+def record(asn: int, path: str = "/a", bot: str = "Googlebot") -> LogRecord:
+    return LogRecord(
+        useragent=f"{bot}/1.0",
+        timestamp=0.0,
+        ip_hash="ip",
+        asn=asn,
+        sitename="s",
+        uri_path=path,
+        status_code=200,
+        bytes_sent=1,
+        bot_name=bot,
+        asn_name=f"AS{asn}",
+    )
+
+
+class TestTrapPath:
+    def test_secure_paths_are_traps(self):
+        assert is_trap_path("/secure/area-001")
+        assert is_trap_path("/secure/x?y=1")
+
+    def test_normal_paths_are_not(self):
+        assert not is_trap_path("/news/a")
+        assert not is_trap_path("/robots.txt")
+        assert not is_trap_path("/securely-named-page")
+
+
+class TestTrapHits:
+    def test_counts_per_bot_and_asn(self):
+        records = [
+            record(1, "/secure/a"),
+            record(1, "/secure/b"),
+            record(2, "/secure/a"),
+            record(1, "/news/x"),
+        ]
+        hits = trap_hits(records)
+        assert hits["Googlebot"].by_asn == {1: 2, 2: 1}
+        assert hits["Googlebot"].total == 3
+
+    def test_anonymous_traffic_ignored(self):
+        anonymous = LogRecord(
+            useragent="Mozilla/5.0",
+            timestamp=0.0,
+            ip_hash="ip",
+            asn=1,
+            sitename="s",
+            uri_path="/secure/a",
+            status_code=200,
+            bytes_sent=1,
+        )
+        assert trap_hits([anonymous]) == {}
+
+
+class TestConfirmSpoofers:
+    def _records(self, spoofer_hits_trap: bool):
+        # Dominant ASN 1 (clean), minority ASN 2 (flagged).
+        records = [record(1) for _ in range(95)]
+        minority_path = "/secure/a" if spoofer_hits_trap else "/news/x"
+        records += [record(2, minority_path) for _ in range(5)]
+        return records
+
+    def test_confirmed_when_minority_hits_trap(self):
+        records = self._records(spoofer_hits_trap=True)
+        findings = find_spoofed_bots(records)
+        verdicts = confirm_spoofers(records, findings)
+        verdict = verdicts["Googlebot"]
+        assert verdict.confirmed
+        assert verdict.confirmed_asns == (2,)
+        assert verdict.suspected_asns == ()
+        assert verdict.dominant_trap_hits == 0
+
+    def test_suspected_only_without_trap_hit(self):
+        records = self._records(spoofer_hits_trap=False)
+        findings = find_spoofed_bots(records)
+        verdicts = confirm_spoofers(records, findings)
+        verdict = verdicts["Googlebot"]
+        assert not verdict.confirmed
+        assert verdict.suspected_asns == (2,)
+
+    def test_dominant_trap_hits_reported(self):
+        records = [record(1, "/secure/a") for _ in range(95)]
+        records += [record(2) for _ in range(5)]
+        findings = find_spoofed_bots(records)
+        verdicts = confirm_spoofers(records, findings)
+        assert verdicts["Googlebot"].dominant_trap_hits == 95
+
+    def test_confirmation_rate(self):
+        assert confirmation_rate({}) == 0.0
+        verdicts = {
+            "a": HoneypotVerdict("a", (1,), (), 0),
+            "b": HoneypotVerdict("b", (), (2,), 0),
+        }
+        assert confirmation_rate(verdicts) == 0.5
+
+
+class TestEndToEnd:
+    def test_simulated_spoofers_confirmed(self, quick_analysis):
+        """Spoofed shadow agents probe traps; some flagged bots must be
+        honeypot-confirmed in the simulated study."""
+        verdicts = confirm_spoofers(
+            quick_analysis.records, quick_analysis.spoof_findings
+        )
+        assert verdicts
+        assert confirmation_rate(verdicts) > 0.0

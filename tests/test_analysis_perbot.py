@@ -1,0 +1,130 @@
+"""Unit tests for per-bot baseline-vs-directive comparisons."""
+
+from repro.analysis.compliance import Directive
+from repro.analysis.perbot import (
+    compare_bot,
+    exempt_canonical_names,
+    per_bot_results,
+)
+from repro.logs.schema import LogRecord
+from repro.uaparse.categories import BotCategory
+
+
+def record(
+    timestamp: float,
+    path: str = "/a",
+    ua: str = "TestBot/1.0",
+    bot: str | None = "TestBot",
+    ip: str = "ip1",
+    asn: int = 1,
+) -> LogRecord:
+    return LogRecord(
+        useragent=ua,
+        timestamp=timestamp,
+        ip_hash=ip,
+        asn=asn,
+        sitename="s",
+        uri_path=path,
+        status_code=200,
+        bytes_sent=1,
+        bot_name=bot,
+        bot_category=BotCategory.OTHER,
+    )
+
+
+class TestCompareBot:
+    def test_disallow_shift_detected(self):
+        baseline = [record(i, path="/a") for i in range(50)]
+        treatment = [record(i, path="/robots.txt") for i in range(50)]
+        result = compare_bot("TestBot", Directive.DISALLOW_ALL, baseline, treatment)
+        assert result.baseline_ratio == 0.0
+        assert result.treatment_ratio == 1.0
+        assert result.shift == 1.0
+        assert result.test.significant
+        assert result.checked_robots
+
+    def test_no_shift_not_significant(self):
+        baseline = [record(i, path="/a") for i in range(50)]
+        treatment = [record(i + 100, path="/a") for i in range(50)]
+        result = compare_bot("TestBot", Directive.DISALLOW_ALL, baseline, treatment)
+        assert not result.test.significant
+        assert not result.checked_robots
+
+
+class TestExemptNames:
+    def test_exempt_covers_google_family(self):
+        exempt = exempt_canonical_names()
+        assert "Googlebot" in exempt
+        assert "Googlebot-Image" in exempt
+        assert "bingbot" in exempt
+        assert "Baiduspider" in exempt
+        assert "DuckDuckBot" in exempt
+        assert "ia_archiver" in exempt
+
+    def test_yandex_not_exempt(self):
+        assert "Yandex.com/bots" not in exempt_canonical_names()
+
+    def test_gptbot_not_exempt(self):
+        assert "GPTBot" not in exempt_canonical_names()
+
+
+class TestPerBotResults:
+    def _windows(self, bot: str, compliant_v3: bool):
+        baseline = [record(i, bot=bot, ua=f"{bot}/1.0") for i in range(20)]
+        path = "/robots.txt" if compliant_v3 else "/a"
+        directive_records = {
+            Directive.CRAWL_DELAY: [
+                record(40 * i + 1000, bot=bot, ua=f"{bot}/1.0") for i in range(20)
+            ],
+            Directive.ENDPOINT: [
+                record(i + 5000, path="/page-data/x", bot=bot, ua=f"{bot}/1.0")
+                for i in range(20)
+            ],
+            Directive.DISALLOW_ALL: [
+                record(i + 9000, path=path, bot=bot, ua=f"{bot}/1.0")
+                for i in range(20)
+            ],
+        }
+        return baseline, directive_records
+
+    def test_full_pipeline(self):
+        baseline, directive_records = self._windows("TestBot", compliant_v3=True)
+        results = per_bot_results(baseline, directive_records)
+        assert "TestBot" in results
+        v3 = results["TestBot"][Directive.DISALLOW_ALL]
+        assert v3.treatment_ratio == 1.0
+        assert v3.test.significant
+
+    def test_min_access_filter(self):
+        baseline, directive_records = self._windows("TestBot", compliant_v3=True)
+        directive_records[Directive.ENDPOINT] = directive_records[
+            Directive.ENDPOINT
+        ][:3]
+        results = per_bot_results(baseline, directive_records)
+        assert "TestBot" not in results
+
+    def test_exempt_bot_excluded(self):
+        baseline, directive_records = self._windows("Googlebot", compliant_v3=True)
+        results = per_bot_results(baseline, directive_records)
+        assert "Googlebot" not in results
+
+    def test_exempt_inclusion_toggle(self):
+        baseline, directive_records = self._windows("Googlebot", compliant_v3=True)
+        results = per_bot_results(
+            baseline, directive_records, exclude_exempt=False
+        )
+        assert "Googlebot" in results
+
+    def test_spoofed_minority_records_excluded(self):
+        baseline, directive_records = self._windows("TestBot", compliant_v3=True)
+        # Minority-ASN noncompliant traffic would dilute the ratio if
+        # not excluded by the spoofing partition.
+        spoof = [
+            record(i + 9000, path="/a", bot="TestBot", ua="TestBot/1.0", asn=99)
+            for i in range(2)
+        ]
+        directive_records[Directive.DISALLOW_ALL].extend(spoof)
+        # Build a dominant baseline so the heuristic flags ASN 99.
+        results = per_bot_results(baseline, directive_records)
+        v3 = results["TestBot"][Directive.DISALLOW_ALL]
+        assert v3.treatment_ratio == 1.0

@@ -1,0 +1,108 @@
+"""Unit tests for spoofing detection (§5.2)."""
+
+from repro.analysis.spoofing import (
+    analyze_bot_asns,
+    find_spoofed_bots,
+    partition_records,
+    spoofed_request_counts,
+)
+from repro.logs.schema import LogRecord
+
+
+def record(asn: int, bot: str = "Googlebot", asn_name: str | None = None) -> LogRecord:
+    return LogRecord(
+        useragent=f"{bot}/1.0",
+        timestamp=0.0,
+        ip_hash="ip",
+        asn=asn,
+        sitename="s",
+        uri_path="/a",
+        status_code=200,
+        bytes_sent=1,
+        bot_name=bot,
+        asn_name=asn_name or f"AS{asn}",
+    )
+
+
+class TestDominanceHeuristic:
+    def test_flagged_when_dominant_plus_minority(self):
+        records = [record(1)] * 95 + [record(2)] * 3 + [record(3)] * 2
+        finding = analyze_bot_asns("Googlebot", records)
+        assert finding is not None and finding.flagged
+        assert finding.main_asn == 1
+        assert finding.suspicious_asns == (2, 3)
+        assert finding.spoofed_records == 5
+
+    def test_not_flagged_below_threshold(self):
+        records = [record(1)] * 80 + [record(2)] * 20
+        finding = analyze_bot_asns("Googlebot", records)
+        assert finding is not None and not finding.flagged
+
+    def test_single_asn_not_flagged(self):
+        finding = analyze_bot_asns("Googlebot", [record(1)] * 50)
+        assert finding is not None and not finding.flagged
+
+    def test_empty_returns_none(self):
+        assert analyze_bot_asns("Googlebot", []) is None
+
+    def test_threshold_configurable(self):
+        records = [record(1)] * 85 + [record(2)] * 15
+        strict = analyze_bot_asns("Googlebot", records, threshold=0.8)
+        assert strict is not None and strict.flagged
+
+    def test_exact_threshold_flagged(self):
+        records = [record(1)] * 90 + [record(2)] * 10
+        finding = analyze_bot_asns("Googlebot", records, threshold=0.90)
+        assert finding is not None and finding.flagged
+
+    def test_asn_names_carried(self):
+        records = [record(1, asn_name="GOOGLE")] * 95 + [
+            record(2, asn_name="DMZHOST")
+        ] * 2
+        finding = analyze_bot_asns("Googlebot", records)
+        assert finding.main_asn_name == "GOOGLE"
+        assert finding.suspicious_asn_names == ("DMZHOST",)
+
+
+class TestFindSpoofedBots:
+    def test_only_flagged_bots_returned(self):
+        records = (
+            [record(1, bot="SpoofedBot")] * 95
+            + [record(2, bot="SpoofedBot")] * 2
+            + [record(1, bot="CleanBot")] * 50
+        )
+        findings = find_spoofed_bots(records)
+        assert set(findings) == {"SpoofedBot"}
+
+    def test_unknown_bots_ignored(self):
+        anonymous = LogRecord(
+            useragent="Mozilla/5.0",
+            timestamp=0.0,
+            ip_hash="ip",
+            asn=1,
+            sitename="s",
+            uri_path="/",
+            status_code=200,
+            bytes_sent=1,
+        )
+        assert find_spoofed_bots([anonymous] * 100) == {}
+
+
+class TestPartition:
+    def test_split(self):
+        records = [record(1)] * 95 + [record(2)] * 5
+        findings = find_spoofed_bots(records)
+        partitions = partition_records(records, findings)
+        assert len(partitions["Googlebot"].legitimate) == 95
+        assert len(partitions["Googlebot"].spoofed) == 5
+
+    def test_unflagged_bot_all_legitimate(self):
+        records = [record(1, bot="CleanBot")] * 10
+        partitions = partition_records(records, {})
+        assert len(partitions["CleanBot"].legitimate) == 10
+        assert not partitions["CleanBot"].spoofed
+
+    def test_counts(self):
+        records = [record(1)] * 95 + [record(2)] * 5
+        partitions = partition_records(records, find_spoofed_bots(records))
+        assert spoofed_request_counts(partitions) == (95, 5)

@@ -1,0 +1,86 @@
+"""Unit tests for the ASN registry and whois client."""
+
+import pytest
+
+from repro.asn.database import AsnRegistry, default_asn_registry
+from repro.asn.whois import WhoisClient
+from repro.exceptions import ASNLookupError
+
+
+class TestAsnRegistry:
+    def test_lookup_known(self):
+        info = default_asn_registry().lookup(15169)
+        assert info.name == "GOOGLE"
+        assert info.org == "Google LLC"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ASNLookupError):
+            default_asn_registry().lookup(424242)
+
+    def test_get_returns_none_for_unknown(self):
+        assert default_asn_registry().get(424242) is None
+
+    def test_by_name_case_insensitive(self):
+        info = default_asn_registry().by_name("google-cloud-platform")
+        assert info is not None and info.asn == 396982
+
+    def test_name_of_synthesizes_for_unknown(self):
+        assert default_asn_registry().name_of(424242) == "AS424242"
+
+    def test_paper_table8_asns_present(self):
+        registry = default_asn_registry()
+        for handle in (
+            "GOOGLE",
+            "MICROSOFT-CORP-MSN-AS-BLOCK",
+            "AMAZON-02",
+            "AMAZON-AES",
+            "FACEBOOK",
+            "YANDEX",
+            "CHINA169-Backbone",
+            "DMZHOST",
+            "AHREFS-AS-AP",
+            "Telefonica_de_Espana",
+            "PROSPERO-AS",
+            "M247",
+            "BORUSANTELEKOM-AS",
+            "KAKAO-AS-KR-KR51",
+        ):
+            assert registry.by_name(handle) is not None, handle
+
+    def test_of_kind(self):
+        clouds = default_asn_registry().of_kind("cloud")
+        assert any(info.name == "AMAZON-02" for info in clouds)
+
+    def test_contains(self):
+        assert 15169 in default_asn_registry()
+        assert 424242 not in default_asn_registry()
+
+
+class TestWhoisClient:
+    def test_lookup_known(self):
+        client = WhoisClient()
+        result = client.lookup(15169)
+        assert result.handle == "GOOGLE"
+        assert result.found
+        assert result.registry == "ARIN"
+
+    def test_lookup_unknown_synthesized(self):
+        client = WhoisClient()
+        result = client.lookup(999999)
+        assert not result.found
+        assert result.handle == "AS999999"
+        assert client.misses == 1
+
+    def test_memoization(self):
+        client = WhoisClient()
+        first = client.lookup(15169)
+        second = client.lookup(15169)
+        assert first is second
+        assert client.unique_cached == 1
+        assert client.queries == 2
+
+    def test_lookup_many_polls_once_per_asn(self):
+        client = WhoisClient()
+        results = client.lookup_many({15169, 8075, 15169})
+        assert set(results) == {15169, 8075}
+        assert client.unique_cached == 2

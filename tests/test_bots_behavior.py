@@ -1,0 +1,152 @@
+"""Unit tests for bot behaviour models and the profile registry."""
+
+import pytest
+
+from repro.bots.behavior import BotProfile, CheckPolicy, ComplianceProfile, NEVER_CHECKS
+from repro.bots.profiles import build_profiles, paper_profiles, profile_by_name
+from repro.exceptions import UnknownBotError
+from repro.uaparse.categories import BotCategory, RobotsPromise
+from repro.uaparse.registry import default_registry
+
+
+def make_profile(**overrides) -> BotProfile:
+    defaults = dict(
+        name="TestBot",
+        user_agent="TestBot/1.0",
+        robots_token="TestBot",
+        category=BotCategory.OTHER,
+        entity="Test",
+        promise=RobotsPromise.UNKNOWN,
+        home_asn=15169,
+        accesses_per_day=100.0,
+        session_length_mean=10.0,
+        inter_access_mean=5.0,
+        compliance=ComplianceProfile(0.5, 0.6, 0.1, 0.2, 0.01, 0.5),
+        check=NEVER_CHECKS,
+    )
+    defaults.update(overrides)
+    return BotProfile(**defaults)
+
+
+class TestComplianceProfile:
+    def test_valid_bounds(self):
+        ComplianceProfile(0.0, 1.0, 0.5, 0.5, 0.0, 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ComplianceProfile(1.5, 0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            ComplianceProfile(0, 0, 0, -0.1, 0, 0)
+
+
+class TestCheckPolicy:
+    def test_never_checks(self):
+        assert NEVER_CHECKS.never_checks
+        assert NEVER_CHECKS.interval_seconds() is None
+
+    def test_interval_seconds(self):
+        assert CheckPolicy(interval_hours=24.0).interval_seconds() == 86_400.0
+
+
+class TestBotProfile:
+    def test_sessions_per_day(self):
+        profile = make_profile(accesses_per_day=100.0, session_length_mean=10.0)
+        assert profile.sessions_per_day == 10.0
+
+    def test_within_session_delay_solves_gap_correction(self):
+        """With mean length L, measured ratio ~ (q(L-1)+1)/L; the
+        inverse must recover q."""
+        profile = make_profile(session_length_mean=10.0)
+        q = profile.within_session_delay_p(0.5)
+        measured = (q * 9 + 1) / 10
+        assert abs(measured - 0.5) < 1e-9
+
+    def test_within_session_delay_clamped(self):
+        profile = make_profile(session_length_mean=10.0)
+        assert profile.within_session_delay_p(0.01) == 0.0
+        assert profile.within_session_delay_p(1.0) == 1.0
+
+
+class TestProfilesDataset:
+    def test_population_size(self):
+        """The paper observes ~130 self-declared bots."""
+        assert len(build_profiles()) >= 130
+
+    def test_paper_profiles_subset(self):
+        assert len(paper_profiles()) >= 45
+
+    def test_names_unique(self):
+        names = [profile.name for profile in build_profiles()]
+        assert len(names) == len(set(names))
+
+    def test_every_profile_identifiable_by_registry(self):
+        """Each profile's UA string must map back to its own canonical
+        name, or enrichment would mislabel the simulated traffic."""
+        registry = default_registry()
+        for profile in build_profiles():
+            record = registry.identify(profile.user_agent)
+            assert record is not None, profile.name
+            assert record.name == profile.name, (
+                profile.name,
+                record.name,
+                profile.user_agent,
+            )
+
+    def test_table6_compliance_values_encoded(self):
+        gptbot = profile_by_name("GPTBot")
+        assert gptbot.compliance.v1_delay_p == 0.634
+        assert gptbot.compliance.v2_endpoint_p == 0.305
+        assert gptbot.compliance.v3_robots_share == 1.0
+
+        bytespider = profile_by_name("Bytespider")
+        assert bytespider.compliance.v2_endpoint_p == 0.0
+        assert bytespider.promise is RobotsPromise.NO
+
+    def test_spoof_maps_match_table8(self):
+        googlebot = profile_by_name("Googlebot")
+        assert len(googlebot.spoof_asns) >= 20
+        assert 0 < googlebot.spoof_rate < 0.01
+
+        baidu = profile_by_name("Baiduspider")
+        assert len(baidu.spoof_asns) == 6
+
+    def test_never_checking_bots_match_table7(self):
+        for name in (
+            "Baiduspider",
+            "BrightEdge Crawler",
+            "Googlebot-Image",
+            "SkypeUriPreview",
+            "Slack-ImgProxy",
+            "Axios",
+            "Iframely",
+            "MicrosoftPreview",
+        ):
+            assert profile_by_name(name).check.never_checks, name
+
+    def test_ai_bots_check_rarely(self):
+        """Figure 10: AI assistants and AI search crawlers have the
+        lowest re-check rates."""
+        chatgpt = profile_by_name("ChatGPT-User")
+        assert (
+            chatgpt.check.never_checks
+            or chatgpt.check.interval_hours >= 48.0
+        )
+        perplexity = profile_by_name("PerplexityBot")
+        assert perplexity.check.interval_hours >= 168.0
+        duckassist = profile_by_name("DuckAssistBot")
+        assert duckassist.check.interval_hours >= 168.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownBotError):
+            profile_by_name("NotARealBot")
+
+    def test_volumes_roughly_ranked_like_table3(self):
+        by_name = {profile.name: profile for profile in build_profiles()}
+        assert (
+            by_name["YisouSpider"].accesses_per_day
+            > by_name["GPTBot"].accesses_per_day
+        )
+        assert (
+            by_name["Applebot"].accesses_per_day
+            > by_name["ClaudeBot"].accesses_per_day
+        )

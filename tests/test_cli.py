@@ -1,0 +1,102 @@
+"""Unit tests for the repro-study CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVersionsCommand:
+    def test_prints_four_versions(self, capsys):
+        assert main(["versions"]) == 0
+        out = capsys.readouterr().out
+        assert "# base" in out
+        assert "# v1: crawl delay" in out
+        assert "Crawl-delay: 30" in out
+        assert "# v3: disallow all" in out
+
+
+class TestRobotsCommand:
+    def test_validate_and_query(self, tmp_path, capsys):
+        robots = tmp_path / "robots.txt"
+        robots.write_text(
+            "User-agent: *\nDisallow: /private\nCrawl-delay: 10\n"
+        )
+        code = main(
+            [
+                "robots",
+                str(robots),
+                "--agent",
+                "GPTBot",
+                "--path",
+                "/private/x",
+                "--path",
+                "/public",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no validator findings" in out
+        assert "crawl delay for 'GPTBot': 10s" in out
+        assert "DENY  /private/x" in out
+        assert "ALLOW /public" in out
+
+    def test_findings_printed(self, tmp_path, capsys):
+        robots = tmp_path / "robots.txt"
+        robots.write_text("Disallow: /early\nUser-agent: *\n")
+        main(["robots", str(robots)])
+        out = capsys.readouterr().out
+        assert "rule-no-group" in out
+
+
+class TestSimulateAnalyzeRoundTrip:
+    @pytest.mark.slow
+    def test_simulate_then_analyze(self, tmp_path, capsys):
+        log = tmp_path / "study.jsonl"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scale",
+                    "0.01",
+                    "--seed",
+                    "3",
+                    "--output",
+                    str(log),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert log.exists()
+
+        assert (
+            main(["analyze", str(log), "--seed", "3", "--experiments", "T4"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+
+    def test_simulate_csv_format(self, tmp_path, capsys):
+        log = tmp_path / "study.csv"
+        main(
+            [
+                "simulate",
+                "--scale",
+                "0.002",
+                "--no-noise",
+                "--output",
+                str(log),
+                "--format",
+                "csv",
+            ]
+        )
+        header = log.read_text().splitlines()[0]
+        assert header.startswith("useragent,timestamp,ip_hash")
+
+
+class TestReportCommand:
+    def test_report_selected_experiment(self, capsys):
+        assert main(["report", "--scale", "0.005", "--experiments", "T2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out

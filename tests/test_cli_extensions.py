@@ -1,0 +1,37 @@
+"""CLI tests for the diff and scorecard subcommands."""
+
+from repro.cli import main
+
+
+class TestDiffCommand:
+    def test_diff_reports_revocations(self, tmp_path, capsys):
+        old = tmp_path / "old.txt"
+        new = tmp_path / "new.txt"
+        old.write_text("User-agent: *\nAllow: /\n")
+        new.write_text("User-agent: *\nDisallow: /\n")
+        assert main(["diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "- GPTBot x /" in out
+        assert "strictness: +" in out
+
+    def test_diff_no_changes(self, tmp_path, capsys):
+        robots = tmp_path / "robots.txt"
+        robots.write_text("User-agent: *\nDisallow: /x\n")
+        main(["diff", str(robots), str(robots)])
+        assert "(no semantic changes)" in capsys.readouterr().out
+
+
+class TestScorecardCommand:
+    def test_scorecard_for_known_bot(self, capsys):
+        code = main(
+            ["scorecard", "ChatGPT-User", "--scale", "0.02", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Compliance scorecard: ChatGPT-User" in out
+        assert "## Verdict" in out
+
+    def test_scorecard_unknown_bot_fails(self, capsys):
+        code = main(["scorecard", "NotABot", "--scale", "0.01", "--seed", "5"])
+        assert code == 1
+        assert "no per-bot results" in capsys.readouterr().err

@@ -1,0 +1,179 @@
+"""Integration tests: full pipeline invariants on a simulated study.
+
+These tests assert the *shape* findings of the paper reproduce from
+the quick-calendar simulation: metric orderings, spoofing rarity,
+category rankings — not absolute values.
+"""
+
+import pytest
+
+from repro.analysis.compliance import Directive
+from repro.reporting.experiments import run_all, run_experiment
+from repro.robots.corpus import RobotsVersion
+from repro.uaparse.categories import BotCategory
+
+
+class TestPreprocessing:
+    def test_scanners_screened_out(self, quick_analysis):
+        report = quick_analysis.preprocess_report
+        assert len(report.scanner_ips) == 3
+        assert report.scanner_records > 0
+
+    def test_enrichment_applied(self, quick_analysis):
+        assert all(
+            record.asn_name is not None for record in quick_analysis.records[:100]
+        )
+        assert quick_analysis.preprocess_report.identified_bots > 0
+
+
+class TestPhaseSlices:
+    def test_all_phases_have_traffic(self, quick_analysis):
+        for version in RobotsVersion:
+            assert quick_analysis.phase_records(version), version
+
+    def test_directive_records_cover_three_directives(self, quick_analysis):
+        assert set(quick_analysis.directive_records) == set(Directive)
+
+
+class TestHeadlineFindings:
+    def test_rq1_crawl_delay_most_complied(self, quick_analysis):
+        """Paper RQ1: compliance decreases as directives get stricter."""
+        table = quick_analysis.category_table
+        crawl = table.directive_average(Directive.CRAWL_DELAY)
+        endpoint = table.directive_average(Directive.ENDPOINT)
+        disallow = table.directive_average(Directive.DISALLOW_ALL)
+        assert crawl > endpoint
+        assert crawl > disallow
+
+    def test_rq2_seo_beats_headless(self, quick_analysis):
+        """Paper RQ2: SEO crawlers most respectful, headless least."""
+        table = quick_analysis.category_table
+        seo = table.category_average(BotCategory.SEO_CRAWLER)
+        headless = table.category_average(BotCategory.HEADLESS_BROWSER)
+        assert seo > 0.5
+        assert headless < 0.35
+        assert seo > headless + 0.3
+
+    def test_rq3_individual_variation(self, quick_analysis):
+        """Paper RQ3: wide variation across individual bots."""
+        v3_ratios = [
+            results[Directive.DISALLOW_ALL].treatment_ratio
+            for results in quick_analysis.per_bot.values()
+            if Directive.DISALLOW_ALL in results
+        ]
+        assert max(v3_ratios) > 0.9
+        assert min(v3_ratios) < 0.1
+
+    def test_exempt_bots_absent_from_per_bot(self, quick_analysis):
+        for exempt in ("Googlebot", "bingbot", "Baiduspider"):
+            assert exempt not in quick_analysis.per_bot
+
+    def test_calibrated_bots_present(self, quick_analysis):
+        present = set(quick_analysis.per_bot)
+        # The heavyweight Table 6 bots must pass all filters.
+        assert {"ChatGPT-User", "HeadlessChrome"} <= present
+
+
+class TestSpoofing:
+    def test_spoofed_bots_found(self, quick_analysis):
+        assert len(quick_analysis.spoof_findings) >= 5
+
+    def test_googlebot_flagged_with_suspicious_asns(self, quick_analysis):
+        """At quick scale only a couple of Googlebot's 23 spoof ASNs
+        emit traffic, but the dominant-ASN structure must hold."""
+        finding = quick_analysis.spoof_findings.get("Googlebot")
+        assert finding is not None
+        assert finding.main_asn_name == "GOOGLE"
+        assert len(finding.suspicious_asns) >= 1
+        assert finding.spoofed_records >= 1
+
+    def test_spoofed_requests_rare(self, quick_analysis):
+        """Paper Table 9: spoofed requests <1% of phase traffic."""
+        for version in (
+            RobotsVersion.V1_CRAWL_DELAY,
+            RobotsVersion.V2_ENDPOINT,
+            RobotsVersion.V3_DISALLOW_ALL,
+        ):
+            legitimate, spoofed = quick_analysis.phase_spoof_counts(version)
+            assert spoofed < 0.05 * max(legitimate, 1)
+
+    def test_dominant_share_above_threshold(self, quick_analysis):
+        for finding in quick_analysis.spoof_findings.values():
+            assert finding.main_share >= 0.9
+
+
+class TestCheckFrequency:
+    def test_some_bots_skip_checks(self, quick_analysis):
+        rows = quick_analysis.skipped_checks
+        assert rows
+        names = {row.bot_name for row in rows}
+        # Table 7 archetypes: bots that never check anywhere.
+        assert names & {"Axios", "BrightEdge Crawler", "SkypeUriPreview", "Iframely"}
+
+    def test_never_checking_but_compliant_exists(self, quick_analysis):
+        """Table 7's interesting case: skipped the check yet complied
+        with the crawl delay."""
+        rows = quick_analysis.skipped_checks
+        assert any(
+            not row.checked[Directive.CRAWL_DELAY]
+            and row.compliance[Directive.CRAWL_DELAY] > 0.8
+            for row in rows
+            if Directive.CRAWL_DELAY in row.checked
+        )
+
+
+class TestExperimentDrivers:
+    def test_run_all_yields_every_artifact(self, quick_analysis):
+        results = run_all(quick_analysis)
+        assert len(results) == 15
+        for result in results.values():
+            assert result.rendered.strip(), result.experiment_id
+
+    def test_table4_consistent_traffic(self, quick_analysis):
+        data = run_experiment("T4", quick_analysis).data
+        visits = [visits for visits, _ in data.values()]
+        assert min(visits) > 0
+        # Paper: traffic is broadly consistent across deployments.
+        assert max(visits) < 12 * min(visits)
+
+    def test_table2_known_bots_subset(self, quick_analysis):
+        data = run_experiment("T2", quick_analysis).data
+        all_row = data["All data"]
+        bots_row = data["Known bots"]
+        assert bots_row.total_page_visits < all_row.total_page_visits
+        assert bots_row.unique_user_agents < all_row.unique_user_agents
+        assert bots_row.total_bytes <= all_row.total_bytes
+
+    def test_figure2_search_dominates(self, quick_analysis):
+        counts = run_experiment("F2", quick_analysis).data
+        ranked = sorted(counts, key=counts.get, reverse=True)
+        assert ranked[0] in (
+            BotCategory.SEARCH_ENGINE_CRAWLER,
+            BotCategory.AI_SEARCH_CRAWLER,
+        )
+
+    def test_figure3_cdf_monotone(self, quick_analysis):
+        series = run_experiment("F3", quick_analysis).data
+        for points in series.values():
+            values = [value for _, value in points]
+            assert values == sorted(values)
+            assert values[-1] == pytest.approx(1.0)
+
+    def test_figure10_ai_checks_least(self, quick_analysis):
+        proportions = run_experiment("F10", quick_analysis).data
+        ai_categories = [
+            category
+            for category in proportions
+            if category
+            in (BotCategory.AI_ASSISTANT, BotCategory.AI_SEARCH_CRAWLER)
+        ]
+        fast_categories = [
+            category
+            for category in proportions
+            if category
+            in (BotCategory.SCRAPER, BotCategory.INTELLIGENCE_GATHERER)
+        ]
+        if ai_categories and fast_categories:
+            ai_best = max(proportions[c][168] for c in ai_categories)
+            fast_best = max(proportions[c][12] for c in fast_categories)
+            assert fast_best >= ai_best

@@ -1,0 +1,156 @@
+"""Unit and property tests for sessionization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.schema import LogRecord
+from repro.logs.sessionize import (
+    SESSION_TIMEOUT_SECONDS,
+    sessionize,
+    sessions_per_day,
+)
+
+
+def record(
+    timestamp: float,
+    ip: str = "ip1",
+    ua: str = "Bot/1.0",
+    path: str = "/a",
+    nbytes: int = 100,
+    site: str = "s.example",
+) -> LogRecord:
+    return LogRecord(
+        useragent=ua,
+        timestamp=timestamp,
+        ip_hash=ip,
+        asn=1,
+        sitename=site,
+        uri_path=path,
+        status_code=200,
+        bytes_sent=nbytes,
+    )
+
+
+class TestSessionize:
+    def test_single_session(self):
+        sessions = sessionize([record(0), record(100), record(200)])
+        assert len(sessions) == 1
+        assert sessions[0].accesses == 3
+        assert sessions[0].total_bytes == 300
+
+    def test_gap_splits_session(self):
+        sessions = sessionize([record(0), record(100 + SESSION_TIMEOUT_SECONDS + 100)])
+        assert len(sessions) == 2
+
+    def test_exact_timeout_does_not_split(self):
+        sessions = sessionize([record(0), record(SESSION_TIMEOUT_SECONDS)])
+        assert len(sessions) == 1
+
+    def test_distinct_entities_distinct_sessions(self):
+        sessions = sessionize([record(0, ip="a"), record(1, ip="b")])
+        assert len(sessions) == 2
+
+    def test_distinct_uas_distinct_sessions(self):
+        sessions = sessionize([record(0, ua="A"), record(1, ua="B")])
+        assert len(sessions) == 2
+
+    def test_unsorted_input_handled(self):
+        sessions = sessionize([record(200), record(0), record(100)])
+        assert len(sessions) == 1
+        assert sessions[0].start == 0
+        assert sessions[0].end == 200
+
+    def test_paths_and_sites_retained(self):
+        sessions = sessionize(
+            [record(0, path="/a"), record(1, path="/b", site="t.example")]
+        )
+        assert sessions[0].paths == {"/a", "/b"}
+        assert sessions[0].sitenames == {"s.example", "t.example"}
+
+    def test_custom_timeout(self):
+        records = [record(0), record(60)]
+        assert len(sessionize(records, timeout_seconds=30)) == 2
+        assert len(sessionize(records, timeout_seconds=120)) == 1
+
+    def test_sessions_sorted_by_start(self):
+        sessions = sessionize(
+            [record(500, ip="b"), record(0, ip="a"), record(1000, ip="c")]
+        )
+        starts = [session.start for session in sessions]
+        assert starts == sorted(starts)
+
+    def test_the_paper_collapse_ratio(self):
+        """Densely spaced bot accesses collapse heavily (3.9M -> 762k
+        in the paper is ~5:1); a 10-access burst collapses 10:1."""
+        records = [record(i * 10.0) for i in range(10)]
+        assert len(sessionize(records)) == 1
+
+
+class TestSessionsPerDay:
+    def test_day_bucketing(self):
+        base = 1_739_404_800.0  # 2025-02-13T00:00:00Z
+        sessions = sessionize(
+            [record(base + 10), record(base + 86_400 + 10, ip="b")]
+        )
+        per_day = sessions_per_day(sessions)
+        assert per_day == {"2025-02-13": 1, "2025-02-14": 1}
+
+
+@st.composite
+def record_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    entities = draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=n, max_size=n)
+    )
+    times = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=100_000, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return [record(t, ip=e) for t, e in zip(times, entities)]
+
+
+class TestSessionizeProperties:
+    @given(record_batches())
+    @settings(max_examples=100)
+    def test_access_count_preserved(self, records):
+        sessions = sessionize(records)
+        assert sum(session.accesses for session in sessions) == len(records)
+
+    @given(record_batches())
+    @settings(max_examples=100)
+    def test_bytes_preserved(self, records):
+        sessions = sessionize(records)
+        assert sum(session.total_bytes for session in sessions) == sum(
+            record.bytes_sent for record in records
+        )
+
+    @given(record_batches())
+    @settings(max_examples=100)
+    def test_sessions_do_not_overlap_per_entity(self, records):
+        sessions = sessionize(records)
+        by_entity: dict[str, list] = {}
+        for session in sessions:
+            by_entity.setdefault(session.ip_hash, []).append(session)
+        for entity_sessions in by_entity.values():
+            entity_sessions.sort(key=lambda session: session.start)
+            for earlier, later in zip(entity_sessions, entity_sessions[1:]):
+                assert later.start - earlier.end > SESSION_TIMEOUT_SECONDS
+
+    @given(record_batches())
+    @settings(max_examples=50)
+    def test_deterministic(self, records):
+        first = sessionize(records)
+        second = sessionize(list(records))
+        assert len(first) == len(second)
+        assert [session.accesses for session in first] == [
+            session.accesses for session in second
+        ]
+
+    @given(record_batches())
+    @settings(max_examples=50)
+    def test_session_duration_nonnegative(self, records):
+        for session in sessionize(records):
+            assert session.duration >= 0

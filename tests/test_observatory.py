@@ -1,0 +1,150 @@
+"""Unit tests for the longitudinal robots.txt observatory."""
+
+from repro.observatory import (
+    RobotsObservatory,
+    ai_agent_tokens,
+    ai_restriction_index,
+    fully_blocked_agents,
+    restrictiveness,
+)
+from repro.robots.corpus import RobotsVersion, render_version
+from repro.robots.policy import RobotsPolicy
+from repro.simulation.clock import epoch
+
+OPEN = "User-agent: *\nAllow: /\n"
+AI_BLOCKED = (
+    "User-agent: GPTBot\nDisallow: /\n\n"
+    "User-agent: ClaudeBot\nDisallow: /\n\n"
+    "User-agent: *\nAllow: /\n"
+)
+CLOSED = "User-agent: *\nDisallow: /\n"
+
+
+class TestRestrictiveness:
+    def test_open_site_near_zero(self):
+        assert restrictiveness(RobotsPolicy.from_text(OPEN)) == 0.0
+
+    def test_closed_site_near_one(self):
+        assert restrictiveness(RobotsPolicy.from_text(CLOSED)) == 1.0
+
+    def test_partial_between(self):
+        value = restrictiveness(RobotsPolicy.from_text(AI_BLOCKED))
+        assert 0.0 < value < 1.0
+
+    def test_paper_versions_monotone(self):
+        values = [
+            restrictiveness(
+                RobotsPolicy.from_text(render_version(version))
+            )
+            for version in (
+                RobotsVersion.BASE,
+                RobotsVersion.V2_ENDPOINT,
+                RobotsVersion.V3_DISALLOW_ALL,
+            )
+        ]
+        assert values == sorted(values)
+
+
+class TestAiIndex:
+    def test_ai_tokens_nonempty(self):
+        tokens = ai_agent_tokens()
+        assert "GPTBot" in tokens
+        assert "ClaudeBot" in tokens
+        assert "Googlebot" not in tokens
+
+    def test_ai_blocking_moves_the_index(self):
+        open_policy = RobotsPolicy.from_text(OPEN)
+        blocked_policy = RobotsPolicy.from_text(AI_BLOCKED)
+        assert ai_restriction_index(open_policy) == 0.0
+        assert ai_restriction_index(blocked_policy) > 0.0
+
+    def test_blocking_all_ai_tokens_saturates_index(self):
+        blocks = "\n\n".join(
+            f"User-agent: {token}\nDisallow: /" for token in ai_agent_tokens()
+        )
+        policy = RobotsPolicy.from_text(blocks + "\n\nUser-agent: *\nAllow: /\n")
+        assert ai_restriction_index(policy) > 0.9
+        # The general probe set includes non-AI agents, so it stays lower.
+        assert restrictiveness(policy) < ai_restriction_index(policy)
+
+
+class TestFullyBlocked:
+    def test_closed_blocks_everyone(self):
+        blocked = fully_blocked_agents(RobotsPolicy.from_text(CLOSED))
+        assert "GPTBot" in blocked and "Googlebot" in blocked
+
+    def test_ai_only_blocking(self):
+        blocked = fully_blocked_agents(RobotsPolicy.from_text(AI_BLOCKED))
+        assert "GPTBot" in blocked
+        assert "Googlebot" not in blocked
+
+
+class TestObservatory:
+    def _loaded(self) -> RobotsObservatory:
+        observatory = RobotsObservatory()
+        observatory.record("s.example", epoch("2022-01-01"), OPEN)
+        observatory.record("s.example", epoch("2023-06-01"), AI_BLOCKED)
+        observatory.record("s.example", epoch("2025-01-01"), CLOSED)
+        return observatory
+
+    def test_history_sorted_even_with_out_of_order_inserts(self):
+        observatory = RobotsObservatory()
+        observatory.record("s", epoch("2025-01-01"), CLOSED)
+        observatory.record("s", epoch("2022-01-01"), OPEN)
+        times = [snapshot.fetched_at for snapshot in observatory.history("s")]
+        assert times == sorted(times)
+
+    def test_latest_and_at(self):
+        observatory = self._loaded()
+        assert observatory.latest("s.example").text == CLOSED
+        mid = observatory.at("s.example", epoch("2024-01-01"))
+        assert mid is not None and mid.text == AI_BLOCKED
+        assert observatory.at("s.example", epoch("2021-01-01")) is None
+        assert observatory.latest("unknown") is None
+
+    def test_restrictiveness_series_increases(self):
+        series = observatory_series = self._loaded().restrictiveness_series(
+            "s.example"
+        )
+        values = [value for _, value in series]
+        assert values == sorted(values)
+
+    def test_ai_series_tightens_over_time(self):
+        observatory = self._loaded()
+        ai_values = [value for _, value in observatory.ai_series("s.example")]
+        assert ai_values == sorted(ai_values)
+        assert ai_values[0] == 0.0
+        assert ai_values[-1] == 1.0
+
+    def test_change_events(self):
+        events = self._loaded().change_events("s.example")
+        assert len(events) == 2
+        assert all(event.tightened for event in events)
+        assert events[0].when == epoch("2023-06-01")
+
+    def test_no_event_for_identical_snapshots(self):
+        observatory = RobotsObservatory()
+        observatory.record("s", 0.0, OPEN)
+        observatory.record("s", 100.0, OPEN)
+        assert observatory.change_events("s") == []
+
+    def test_tightening_slope_positive(self):
+        observatory = self._loaded()
+        assert observatory.tightening_slope("s.example") > 0
+        assert observatory.is_tightening("s.example")
+
+    def test_loosening_slope_negative(self):
+        observatory = RobotsObservatory()
+        observatory.record("s", epoch("2022-01-01"), CLOSED)
+        observatory.record("s", epoch("2024-01-01"), OPEN)
+        assert observatory.tightening_slope("s") < 0
+
+    def test_single_snapshot_slope_zero(self):
+        observatory = RobotsObservatory()
+        observatory.record("s", 0.0, OPEN)
+        assert observatory.tightening_slope("s") == 0.0
+
+    def test_sites_listing(self):
+        observatory = self._loaded()
+        observatory.record("other.example", 0.0, OPEN)
+        assert observatory.sites() == ["other.example", "s.example"]

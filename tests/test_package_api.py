@@ -1,0 +1,49 @@
+"""Tests for the package's public API surface."""
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version_string(self):
+        major, *_ = repro.__version__.split(".")
+        assert major.isdigit()
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_path_works(self):
+        """The README's three-line quickstart must execute as written."""
+        dataset = repro.run_study(scale=0.003, seed=1)
+        analysis = repro.StudyAnalysis(dataset)
+        result = repro.run_experiment("T4", analysis)
+        assert "Table 4" in result.rendered
+
+    def test_robots_policy_reachable(self):
+        policy = repro.RobotsPolicy.from_text("User-agent: *\nDisallow: /x\n")
+        assert not policy.can_fetch("bot", "/x/y")
+
+    def test_diff_reachable(self):
+        diff = repro.diff_robots(
+            "User-agent: *\nAllow: /\n", "User-agent: *\nDisallow: /\n"
+        )
+        assert diff.is_stricter
+
+    def test_observatory_reachable(self):
+        observatory = repro.RobotsObservatory()
+        observatory.record("s", 0.0, "User-agent: *\nAllow: /\n")
+        assert observatory.latest("s") is not None
+
+    def test_subpackages_import_cleanly(self):
+        import repro.analysis
+        import repro.asn
+        import repro.bots
+        import repro.deterrence
+        import repro.logs
+        import repro.reporting
+        import repro.robots
+        import repro.simulation
+        import repro.uaparse
+        import repro.web
+
+        assert repro.analysis.Directive is repro.Directive

@@ -1,0 +1,51 @@
+"""Unit tests for the per-bot scorecard writer."""
+
+import pytest
+
+from repro.analysis.compliance import Directive
+from repro.reporting.scorecard import available_bots, render_scorecard
+
+
+class TestScorecard:
+    def test_available_bots_nonempty(self, quick_analysis):
+        bots = available_bots(quick_analysis)
+        assert bots
+        assert bots == sorted(bots)
+
+    def test_unknown_bot_raises(self, quick_analysis):
+        with pytest.raises(KeyError, match="no per-bot results"):
+            render_scorecard(quick_analysis, "NotABot")
+
+    def test_chatgpt_scorecard_sections(self, quick_analysis):
+        card = render_scorecard(quick_analysis, "ChatGPT-User")
+        assert card.startswith("# Compliance scorecard: ChatGPT-User")
+        for heading in (
+            "## Identity",
+            "## Observed activity",
+            "## Directive compliance",
+            "## robots.txt engagement",
+            "## Spoofing exposure",
+            "## Verdict",
+        ):
+            assert heading in card
+        assert "OpenAI" in card
+        assert "AI Assistants" in card
+
+    def test_compliance_table_has_all_directives(self, quick_analysis):
+        card = render_scorecard(quick_analysis, "ChatGPT-User")
+        for directive in Directive:
+            assert directive.value in card
+
+    def test_verdict_reflects_behaviour(self, quick_analysis):
+        """HeadlessChrome ignores everything; its verdict must call
+        for enforceable deterrence."""
+        if "HeadlessChrome" not in quick_analysis.per_bot:
+            pytest.skip("HeadlessChrome filtered at this scale")
+        card = render_scorecard(quick_analysis, "HeadlessChrome")
+        assert "enforceable deterrence" in card or "rate limiting" in card
+
+    def test_every_available_bot_renders(self, quick_analysis):
+        for bot_name in available_bots(quick_analysis):
+            card = render_scorecard(quick_analysis, bot_name)
+            assert bot_name in card
+            assert "## Verdict" in card

@@ -1,0 +1,58 @@
+"""Unit tests for the StudyAnalysis facade."""
+
+from repro.analysis.compliance import Directive
+from repro.reporting.study import VERSION_DIRECTIVES, StudyAnalysis, analyze
+from repro.robots.corpus import RobotsVersion
+
+
+class TestVersionDirectiveMap:
+    def test_three_measured_versions(self):
+        assert VERSION_DIRECTIVES == {
+            RobotsVersion.V1_CRAWL_DELAY: Directive.CRAWL_DELAY,
+            RobotsVersion.V2_ENDPOINT: Directive.ENDPOINT,
+            RobotsVersion.V3_DISALLOW_ALL: Directive.DISALLOW_ALL,
+        }
+
+    def test_base_not_a_directive(self):
+        assert RobotsVersion.BASE not in VERSION_DIRECTIVES
+
+
+class TestFacade:
+    def test_analyze_convenience(self, quick_dataset):
+        analysis = analyze(quick_dataset)
+        assert isinstance(analysis, StudyAnalysis)
+        assert analysis.scenario is quick_dataset.scenario
+
+    def test_preprocessing_kept_fewer_or_equal(self, quick_analysis):
+        assert len(quick_analysis.records) <= len(quick_analysis.dataset.records)
+
+    def test_overview_window_bounds(self, quick_analysis):
+        scenario = quick_analysis.scenario
+        for record in quick_analysis.overview_records[:200]:
+            assert scenario.overview_start <= record.timestamp
+            assert record.timestamp < scenario.overview_end
+
+    def test_baseline_is_base_phase(self, quick_analysis):
+        phase = quick_analysis.scenario.phase_for_version(RobotsVersion.BASE)
+        for record in quick_analysis.baseline_records[:100]:
+            assert phase.contains(record.timestamp)
+            assert record.sitename == quick_analysis.scenario.experiment_site
+
+    def test_passive_records_on_passive_sites(self, quick_analysis):
+        passive = set(quick_analysis.scenario.passive_sites)
+        assert quick_analysis.passive_site_records
+        for record in quick_analysis.passive_site_records[:100]:
+            assert record.sitename in passive
+
+    def test_caching_returns_same_object(self, quick_analysis):
+        assert quick_analysis.per_bot is quick_analysis.per_bot
+        assert quick_analysis.category_table is quick_analysis.category_table
+
+    def test_phase_summary_structure(self, quick_analysis):
+        visits, bots = quick_analysis.phase_summary(RobotsVersion.V1_CRAWL_DELAY)
+        assert visits > 0
+        assert 0 < bots < 300
+
+    def test_spoof_partitions_cover_flagged_bots(self, quick_analysis):
+        for bot_name in quick_analysis.spoof_findings:
+            assert bot_name in quick_analysis.spoof_partitions

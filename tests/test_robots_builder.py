@@ -1,0 +1,85 @@
+"""Unit tests for the RobotsBuilder fluent API."""
+
+import pytest
+
+from repro.robots.builder import RobotsBuilder
+
+
+class TestBuilder:
+    def test_chained_construction(self):
+        robots = (
+            RobotsBuilder()
+            .group("Googlebot")
+            .allow("/")
+            .crawl_delay(15)
+            .group("*")
+            .allow("/allowed-data/")
+            .disallow("/restricted-data/")
+            .sitemap("https://x.example/sitemap.xml")
+            .build()
+        )
+        assert len(robots.groups) == 2
+        assert robots.groups[0].crawl_delay == 15.0
+        assert robots.sitemaps == ["https://x.example/sitemap.xml"]
+
+    def test_multiple_agents_per_group(self):
+        robots = RobotsBuilder().group("a", "b").disallow("/x").build()
+        assert robots.groups[0].user_agents == ["a", "b"]
+
+    def test_agent_appends_to_current_group(self):
+        robots = RobotsBuilder().group("a").agent("b").disallow("/x").build()
+        assert robots.groups[0].user_agents == ["a", "b"]
+
+    def test_rule_before_group_raises(self):
+        with pytest.raises(ValueError, match="open a group"):
+            RobotsBuilder().allow("/x")
+
+    def test_empty_group_call_raises(self):
+        with pytest.raises(ValueError):
+            RobotsBuilder().group()
+
+    def test_invalid_agent_token_raises(self):
+        with pytest.raises(ValueError):
+            RobotsBuilder().group(" padded ")
+        with pytest.raises(ValueError):
+            RobotsBuilder().group("")
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            RobotsBuilder().group("*").crawl_delay(-1)
+
+    def test_empty_sitemap_raises(self):
+        with pytest.raises(ValueError):
+            RobotsBuilder().sitemap("")
+
+    def test_build_text_parses_back(self):
+        from repro.robots.parser import parse
+
+        text = (
+            RobotsBuilder()
+            .group("*")
+            .disallow("/private")
+            .crawl_delay(30)
+            .build_text()
+        )
+        robots = parse(text)
+        assert robots.groups[0].crawl_delay == 30.0
+        assert robots.groups[0].rules[0].path == "/private"
+
+    def test_build_policy_directly_usable(self):
+        policy = RobotsBuilder().group("*").disallow("/nope").build_policy()
+        assert not policy.can_fetch("any", "/nope/x")
+        assert policy.can_fetch("any", "/yes")
+
+    def test_build_returns_independent_copies(self):
+        builder = RobotsBuilder().group("*").disallow("/a")
+        first = builder.build()
+        builder.disallow("/b")
+        second = builder.build()
+        assert len(first.groups[0].rules) == 1
+        assert len(second.groups[0].rules) == 2
+
+    def test_integer_delay_rendering(self):
+        text = RobotsBuilder().group("*").crawl_delay(30.0).build_text()
+        assert "Crawl-delay: 30" in text
+        assert "30.0" not in text

@@ -1,0 +1,73 @@
+"""Unit tests for the TTL robots.txt cache."""
+
+from repro.robots.cache import DEFAULT_TTL_SECONDS, RobotsCache
+from repro.robots.policy import RobotsPolicy
+
+
+def make_policy() -> RobotsPolicy:
+    return RobotsPolicy.from_text("User-agent: *\nDisallow: /x\n")
+
+
+class TestRobotsCache:
+    def test_put_then_get(self):
+        cache = RobotsCache()
+        cache.put("site.example", make_policy(), now=1000.0)
+        assert cache.get("site.example", now=1000.0) is not None
+
+    def test_miss_on_unknown_origin(self):
+        assert RobotsCache().get("nope.example", now=0.0) is None
+
+    def test_expiry_after_ttl(self):
+        cache = RobotsCache(ttl_seconds=100.0)
+        cache.put("s", make_policy(), now=0.0)
+        assert cache.get("s", now=99.9) is not None
+        assert cache.get("s", now=100.0) is None
+
+    def test_default_ttl_is_24_hours(self):
+        assert DEFAULT_TTL_SECONDS == 86_400.0
+
+    def test_needs_refresh(self):
+        cache = RobotsCache(ttl_seconds=10.0)
+        assert cache.needs_refresh("s", now=0.0)
+        cache.put("s", make_policy(), now=0.0)
+        assert not cache.needs_refresh("s", now=5.0)
+        assert cache.needs_refresh("s", now=11.0)
+
+    def test_age(self):
+        cache = RobotsCache()
+        cache.put("s", make_policy(), now=50.0)
+        assert cache.age("s", now=80.0) == 30.0
+        assert cache.age("missing", now=0.0) is None
+
+    def test_refresh_resets_clock(self):
+        cache = RobotsCache(ttl_seconds=10.0)
+        cache.put("s", make_policy(), now=0.0)
+        cache.put("s", make_policy(), now=8.0)
+        assert cache.get("s", now=15.0) is not None
+
+    def test_invalidate(self):
+        cache = RobotsCache()
+        cache.put("s", make_policy(), now=0.0)
+        cache.invalidate("s")
+        assert "s" not in cache
+
+    def test_eviction_at_capacity(self):
+        cache = RobotsCache(max_entries=2)
+        cache.put("a", make_policy(), now=0.0)
+        cache.put("b", make_policy(), now=1.0)
+        cache.put("c", make_policy(), now=2.0)
+        assert len(cache) == 2
+        assert "a" not in cache  # oldest evicted
+        assert "c" in cache
+
+    def test_clear(self):
+        cache = RobotsCache()
+        cache.put("a", make_policy(), now=0.0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_stale_entry_evicted_on_access(self):
+        cache = RobotsCache(ttl_seconds=1.0)
+        cache.put("s", make_policy(), now=0.0)
+        cache.get("s", now=5.0)
+        assert "s" not in cache

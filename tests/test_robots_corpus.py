@@ -1,0 +1,116 @@
+"""Tests that the experiment robots.txt corpus matches Figures 5-8."""
+
+from repro.robots.corpus import (
+    EXEMPT_SEO_BOTS,
+    RobotsVersion,
+    all_versions,
+    build_simple_site_robots,
+    build_version,
+    policy_for_version,
+    render_version,
+)
+from repro.robots.policy import RobotsPolicy
+
+
+class TestBaseVersion:
+    def test_allows_everything_except_meta_paths(self):
+        policy = policy_for_version(RobotsVersion.BASE)
+        assert policy.can_fetch("AnyBot", "/news/article")
+        assert not policy.can_fetch("AnyBot", "/404")
+        assert not policy.can_fetch("AnyBot", "/dev-404-page")
+        assert not policy.can_fetch("AnyBot", "/secure/area-001")
+
+    def test_no_crawl_delay(self):
+        assert policy_for_version(RobotsVersion.BASE).crawl_delay("AnyBot") is None
+
+
+class TestV1CrawlDelay:
+    def test_same_access_as_base(self):
+        policy = policy_for_version(RobotsVersion.V1_CRAWL_DELAY)
+        assert policy.can_fetch("AnyBot", "/news/article")
+        assert not policy.can_fetch("AnyBot", "/secure/x")
+
+    def test_thirty_second_delay_for_everyone(self):
+        policy = policy_for_version(RobotsVersion.V1_CRAWL_DELAY)
+        assert policy.crawl_delay("AnyBot") == 30.0
+        assert policy.crawl_delay("Googlebot") == 30.0
+
+
+class TestV2Endpoint:
+    def test_page_data_only_for_most_bots(self):
+        policy = policy_for_version(RobotsVersion.V2_ENDPOINT)
+        assert policy.can_fetch("GPTBot", "/page-data/index/page-data.json")
+        assert not policy.can_fetch("GPTBot", "/news/article")
+
+    def test_seo_bots_exempt(self):
+        policy = policy_for_version(RobotsVersion.V2_ENDPOINT)
+        for bot in EXEMPT_SEO_BOTS:
+            assert policy.can_fetch(bot, "/news/article"), bot
+            assert not policy.can_fetch(bot, "/secure/x"), bot
+
+
+class TestV3DisallowAll:
+    def test_everything_denied_for_most_bots(self):
+        policy = policy_for_version(RobotsVersion.V3_DISALLOW_ALL)
+        assert not policy.can_fetch("GPTBot", "/")
+        assert not policy.can_fetch("GPTBot", "/page-data/x")
+        assert policy.can_fetch("GPTBot", "/robots.txt")
+
+    def test_seo_bots_still_exempt(self):
+        policy = policy_for_version(RobotsVersion.V3_DISALLOW_ALL)
+        assert policy.can_fetch("Googlebot", "/news/article")
+
+    def test_yandex_family_token_not_exempt(self):
+        """The paper's Table 6 shows yandex.com/bots governed by the
+        catch-all: the 'Yandexbot' exemption does not prefix-match."""
+        policy = policy_for_version(RobotsVersion.V3_DISALLOW_ALL)
+        assert not policy.can_fetch("yandex.com/bots", "/news/article")
+        assert policy.can_fetch("Yandexbot", "/news/article")
+
+
+class TestStrictnessOrdering:
+    def test_versions_in_order(self):
+        versions = all_versions()
+        assert [version.strictness for version in versions] == [0, 1, 2, 3]
+
+    def test_directive_names(self):
+        assert RobotsVersion.V1_CRAWL_DELAY.directive_name == "crawl delay"
+        assert RobotsVersion.V3_DISALLOW_ALL.directive_name == "disallow all"
+
+    def test_allowed_path_count_monotonically_decreases(self):
+        """Stricter versions allow a (weakly) smaller set of paths for
+        a non-exempt bot."""
+        sample_paths = [
+            "/",
+            "/news/a",
+            "/page-data/x/page-data.json",
+            "/secure/s",
+            "/404",
+        ]
+        allowed_counts = []
+        for version in all_versions():
+            policy = policy_for_version(version)
+            allowed_counts.append(
+                sum(policy.can_fetch("GPTBot", path) for path in sample_paths)
+            )
+        assert allowed_counts == sorted(allowed_counts, reverse=True)
+
+
+class TestRendering:
+    def test_rendered_versions_reparse_equivalently(self):
+        for version in all_versions():
+            original = build_version(version)
+            reparsed = RobotsPolicy.from_text(render_version(version))
+            for path in ("/x", "/page-data/a", "/secure/b"):
+                for agent in ("GPTBot", "Googlebot"):
+                    assert RobotsPolicy.from_robots(original).can_fetch(
+                        agent, path
+                    ) == reparsed.can_fetch(agent, path), (version, agent, path)
+
+
+class TestSimpleSiteRobots:
+    def test_passive_site_restrictions(self):
+        policy = RobotsPolicy.from_robots(build_simple_site_robots())
+        assert policy.can_fetch("AnyBot", "/news/x")
+        assert not policy.can_fetch("AnyBot", "/404")
+        assert not policy.can_fetch("AnyBot", "/secure/x")

@@ -1,0 +1,106 @@
+"""Unit tests for semantic robots.txt diffing."""
+
+from repro.robots.corpus import RobotsVersion, render_version
+from repro.robots.diff import (
+    AccessChange,
+    diff_robots,
+    render_diff,
+)
+
+
+class TestBasicDiff:
+    def test_revocation_detected(self):
+        old = "User-agent: *\nAllow: /\n"
+        new = "User-agent: *\nDisallow: /\n"
+        diff = diff_robots(old, new, agents=["GPTBot"], paths=["/x"])
+        assert len(diff.revocations) == 1
+        assert diff.is_stricter
+        assert diff.strictness_score() == 1.0
+
+    def test_grant_detected(self):
+        old = "User-agent: *\nDisallow: /\n"
+        new = "User-agent: *\nAllow: /\n"
+        diff = diff_robots(old, new, agents=["GPTBot"], paths=["/x"])
+        assert len(diff.grants) == 1
+        assert not diff.is_stricter
+        assert diff.strictness_score() == -1.0
+
+    def test_no_change(self):
+        text = "User-agent: *\nDisallow: /private\n"
+        diff = diff_robots(text, text)
+        assert diff.changes == []
+        assert diff.strictness_score() == 0.0
+
+    def test_reordering_is_not_a_change(self):
+        old = "User-agent: *\nDisallow: /a\nDisallow: /b\n"
+        new = "User-agent: *\nDisallow: /b\nDisallow: /a\n"
+        assert diff_robots(old, new).changes == []
+
+    def test_delay_change(self):
+        old = "User-agent: *\nAllow: /\n"
+        new = "User-agent: *\nAllow: /\nCrawl-delay: 30\n"
+        diff = diff_robots(old, new, agents=["GPTBot"], paths=["/"])
+        (delay,) = diff.delay_changes
+        assert delay.old_delay is None
+        assert delay.new_delay == 30.0
+
+    def test_agent_group_additions(self):
+        old = "User-agent: *\nAllow: /\n"
+        new = "User-agent: GPTBot\nDisallow: /\n\nUser-agent: *\nAllow: /\n"
+        diff = diff_robots(old, new)
+        assert diff.added_agents == ["gptbot"]
+        assert diff.removed_agents == []
+
+
+class TestPaperVersions:
+    def _diff(self, older: RobotsVersion, newer: RobotsVersion):
+        return diff_robots(render_version(older), render_version(newer))
+
+    def test_base_to_v1_only_delay(self):
+        diff = self._diff(RobotsVersion.BASE, RobotsVersion.V1_CRAWL_DELAY)
+        assert diff.changes == []
+        assert diff.delay_changes
+        assert all(d.new_delay == 30.0 for d in diff.delay_changes)
+
+    def test_v1_to_v2_revokes_nonexempt_content(self):
+        diff = self._diff(RobotsVersion.V1_CRAWL_DELAY, RobotsVersion.V2_ENDPOINT)
+        assert diff.is_stricter
+        revoked = {(d.agent, d.path) for d in diff.revocations}
+        assert ("GPTBot", "/news/article-001") in revoked
+        assert ("Googlebot", "/news/article-001") not in revoked
+
+    def test_v2_to_v3_revokes_page_data(self):
+        diff = self._diff(RobotsVersion.V2_ENDPOINT, RobotsVersion.V3_DISALLOW_ALL)
+        revoked = {(d.agent, d.path) for d in diff.revocations}
+        assert ("GPTBot", "/page-data/index/page-data.json") in revoked
+
+    def test_strictness_monotone_over_versions(self):
+        """The paper's gradient: each swap is stricter than the last
+        baseline, cumulatively."""
+        versions = [
+            RobotsVersion.BASE,
+            RobotsVersion.V1_CRAWL_DELAY,
+            RobotsVersion.V2_ENDPOINT,
+            RobotsVersion.V3_DISALLOW_ALL,
+        ]
+        cumulative = [
+            diff_robots(
+                render_version(RobotsVersion.BASE), render_version(version)
+            ).strictness_score()
+            for version in versions
+        ]
+        assert cumulative == sorted(cumulative)
+
+
+class TestRender:
+    def test_render_mentions_changes(self):
+        old = "User-agent: *\nAllow: /\n"
+        new = "User-agent: *\nDisallow: /\nCrawl-delay: 10\n"
+        text = render_diff(diff_robots(old, new, agents=["Bot"], paths=["/x"]))
+        assert "- Bot x /x" in text
+        assert "crawl-delay" in text
+        assert "strictness" in text
+
+    def test_render_no_changes(self):
+        text = "User-agent: *\nDisallow: /x\n"
+        assert render_diff(diff_robots(text, text)) == "(no semantic changes)"

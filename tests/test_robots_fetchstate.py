@@ -1,0 +1,55 @@
+"""Unit tests for RFC 9309 fetch-failure semantics."""
+
+from repro.robots.fetchstate import (
+    MAX_REDIRECTS,
+    FetchDisposition,
+    classify_status,
+    resolve_fetch,
+)
+
+
+class TestClassifyStatus:
+    def test_2xx_parsed(self):
+        assert classify_status(200) is FetchDisposition.PARSED
+        assert classify_status(204) is FetchDisposition.PARSED
+
+    def test_4xx_unavailable_allows_all(self):
+        for status in (400, 401, 403, 404, 410, 451):
+            assert classify_status(status) is FetchDisposition.ALLOW_ALL
+
+    def test_5xx_unreachable_disallows_all(self):
+        for status in (500, 502, 503):
+            assert classify_status(status) is FetchDisposition.DISALLOW_ALL
+
+    def test_network_error_convention(self):
+        assert classify_status(599) is FetchDisposition.DISALLOW_ALL
+
+
+class TestResolveFetch:
+    def test_200_parses_body(self):
+        result = resolve_fetch(200, b"User-agent: *\nDisallow: /x\n")
+        assert result.disposition is FetchDisposition.PARSED
+        assert not result.policy.can_fetch("bot", "/x/y")
+        assert result.policy.can_fetch("bot", "/ok")
+
+    def test_404_allows_everything(self):
+        result = resolve_fetch(404)
+        assert result.policy.can_fetch("bot", "/anything")
+
+    def test_503_disallows_everything(self):
+        result = resolve_fetch(503)
+        assert not result.policy.can_fetch("bot", "/anything")
+
+    def test_too_many_redirects_treated_unavailable(self):
+        result = resolve_fetch(301, redirects=MAX_REDIRECTS + 1)
+        assert result.disposition is FetchDisposition.ALLOW_ALL
+        assert result.policy.can_fetch("bot", "/x")
+
+    def test_redirects_within_limit_follow_status(self):
+        result = resolve_fetch(200, b"", redirects=3)
+        assert result.disposition is FetchDisposition.PARSED
+        assert result.redirects == 3
+
+    def test_empty_200_body_allows_all(self):
+        result = resolve_fetch(200, b"")
+        assert result.policy.can_fetch("bot", "/anything")

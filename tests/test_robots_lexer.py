@@ -1,0 +1,87 @@
+"""Unit tests for the robots.txt line lexer."""
+
+from repro.robots.lexer import Line, LineKind, strip_bom, tokenize, tokenize_line
+
+
+class TestTokenizeLine:
+    def test_user_agent_line(self):
+        line = tokenize_line("User-agent: Googlebot", 1)
+        assert line.kind is LineKind.USER_AGENT
+        assert line.value == "Googlebot"
+
+    def test_field_names_case_insensitive(self):
+        assert tokenize_line("USER-AGENT: x", 1).kind is LineKind.USER_AGENT
+        assert tokenize_line("DisAllow: /x", 1).kind is LineKind.DISALLOW
+
+    def test_whitespace_around_colon(self):
+        line = tokenize_line("Disallow   :   /private", 3)
+        assert line.kind is LineKind.DISALLOW
+        assert line.value == "/private"
+
+    def test_comment_stripped(self):
+        line = tokenize_line("Allow: /a # trailing comment", 1)
+        assert line.kind is LineKind.ALLOW
+        assert line.value == "/a"
+
+    def test_full_line_comment(self):
+        assert tokenize_line("# just a comment", 1).kind is LineKind.COMMENT
+
+    def test_blank_line(self):
+        assert tokenize_line("   ", 1).kind is LineKind.BLANK
+
+    def test_no_colon_is_invalid(self):
+        assert tokenize_line("Disallow /x", 1).kind is LineKind.INVALID
+
+    def test_unknown_field_is_invalid(self):
+        assert tokenize_line("Clobber: /x", 1).kind is LineKind.INVALID
+
+    def test_common_misspellings_accepted(self):
+        assert tokenize_line("Dissallow: /x", 1).kind is LineKind.DISALLOW
+        assert tokenize_line("useragent: Bot", 1).kind is LineKind.USER_AGENT
+        assert tokenize_line("crawldelay: 5", 1).kind is LineKind.CRAWL_DELAY
+
+    def test_sitemap_value_preserves_case(self):
+        line = tokenize_line("Sitemap: https://X.example/Sitemap.XML", 1)
+        assert line.kind is LineKind.SITEMAP
+        assert line.value == "https://X.example/Sitemap.XML"
+
+    def test_empty_disallow_value(self):
+        line = tokenize_line("Disallow:", 1)
+        assert line.kind is LineKind.DISALLOW
+        assert line.value == ""
+
+    def test_line_number_recorded(self):
+        assert tokenize_line("Allow: /", 42).number == 42
+
+
+class TestTokenize:
+    def test_crlf_and_cr_line_endings(self):
+        lines = tokenize("User-agent: *\r\nDisallow: /a\rAllow: /b\n")
+        kinds = [line.kind for line in lines if line.kind is not LineKind.BLANK]
+        assert kinds == [LineKind.USER_AGENT, LineKind.DISALLOW, LineKind.ALLOW]
+
+    def test_bom_stripped(self):
+        text = "﻿User-agent: *\n"
+        lines = tokenize(text)
+        assert lines[0].kind is LineKind.USER_AGENT
+
+    def test_strip_bom_noop_without_bom(self):
+        assert strip_bom("abc") == "abc"
+
+    def test_line_numbers_sequential(self):
+        lines = tokenize("a\nb\nc")
+        assert [line.number for line in lines] == [1, 2, 3]
+
+    def test_empty_document(self):
+        lines = tokenize("")
+        assert len(lines) == 1
+        assert lines[0].kind is LineKind.BLANK
+
+    def test_line_dataclass_frozen(self):
+        line = Line(number=1, kind=LineKind.BLANK, value="", raw="")
+        try:
+            line.value = "x"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,144 @@
+"""Unit tests for path matching (RFC 9309 §2.2.2 semantics)."""
+
+from repro.robots.matcher import (
+    evaluate_rules,
+    normalize_path,
+    pattern_matches,
+    pattern_specificity,
+)
+from repro.robots.model import Rule, RuleType
+
+
+def allow(path: str) -> Rule:
+    return Rule(type=RuleType.ALLOW, path=path)
+
+
+def disallow(path: str) -> Rule:
+    return Rule(type=RuleType.DISALLOW, path=path)
+
+
+class TestPatternMatches:
+    def test_simple_prefix(self):
+        assert pattern_matches("/fish", "/fish")
+        assert pattern_matches("/fish", "/fish.html")
+        assert pattern_matches("/fish", "/fish/salmon.html")
+        assert not pattern_matches("/fish", "/Fish.asp")
+        assert not pattern_matches("/fish", "/catfish")
+
+    def test_trailing_slash(self):
+        assert pattern_matches("/fish/", "/fish/")
+        assert pattern_matches("/fish/", "/fish/salmon")
+        assert not pattern_matches("/fish/", "/fish")
+
+    def test_wildcard_middle(self):
+        assert pattern_matches("/*.php", "/index.php")
+        assert pattern_matches("/*.php", "/folder/filename.php?params")
+        assert not pattern_matches("/*.php", "/")
+
+    def test_dollar_anchor(self):
+        assert pattern_matches("/*.php$", "/filename.php")
+        assert not pattern_matches("/*.php$", "/filename.php?params")
+        assert not pattern_matches("/*.php$", "/filename.php5")
+
+    def test_interior_dollar_is_literal(self):
+        assert pattern_matches("/a$b", "/a$b/c")
+
+    def test_empty_pattern_matches_nothing(self):
+        assert not pattern_matches("", "/anything")
+        assert not pattern_matches("", "")
+
+    def test_wildcard_star_alone(self):
+        assert pattern_matches("/*", "/anything")
+        assert pattern_matches("*", "/anything")
+
+    def test_multiple_wildcards(self):
+        assert pattern_matches("/a*/b*/c", "/a1/b2/c")
+        assert not pattern_matches("/a*/b*/c", "/a1/c")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert pattern_matches("/a+b", "/a+b")
+        assert not pattern_matches("/a+b", "/aab")
+        assert pattern_matches("/a(b)c", "/a(b)c")
+
+    def test_query_string_participates(self):
+        assert pattern_matches("/page?*", "/page?id=1")
+
+
+class TestNormalization:
+    def test_adds_leading_slash(self):
+        assert normalize_path("abc") == "/abc"
+        assert normalize_path("") == "/"
+
+    def test_percent_case_insensitive(self):
+        assert normalize_path("/a%3cd") == normalize_path("/a%3Cd")
+
+    def test_unreserved_escapes_decoded(self):
+        assert normalize_path("/%61bc") == "/abc"
+
+    def test_encoded_slash_stays_encoded(self):
+        assert normalize_path("/a%2Fb") == "/a%2Fb"
+        assert normalize_path("/a%2fb") == "/a%2Fb"
+        assert normalize_path("/a%2Fb") != normalize_path("/a/b")
+
+    def test_matching_after_normalization(self):
+        assert pattern_matches("/a%3Cd", "/a%3cd")
+
+    def test_bare_percent_passes_through(self):
+        assert normalize_path("/100%") == "/100%"
+
+
+class TestPrecedence:
+    def test_longest_match_wins(self):
+        rules = [allow("/p"), disallow("/")]
+        assert evaluate_rules(rules, "/page").allowed
+
+    def test_longer_disallow_beats_shorter_allow(self):
+        rules = [allow("/folder"), disallow("/folder/private")]
+        assert not evaluate_rules(rules, "/folder/private/x").allowed
+        assert evaluate_rules(rules, "/folder/public").allowed
+
+    def test_equal_length_allow_wins(self):
+        rules = [disallow("/page"), allow("/page")]
+        assert evaluate_rules(rules, "/page").allowed
+
+    def test_google_example_fish(self):
+        # From Google's robots.txt documentation examples.
+        rules = [allow("/p"), disallow("/")]
+        assert evaluate_rules(rules, "/page").allowed
+        rules = [allow("/folder"), disallow("/folder")]
+        assert evaluate_rules(rules, "/folder/page").allowed
+        rules = [allow("/page"), disallow("/*.htm")]
+        assert not evaluate_rules(rules, "/page.htm").allowed
+
+    def test_no_match_defaults_to_allow(self):
+        result = evaluate_rules([disallow("/x")], "/y")
+        assert result.allowed
+        assert result.rule is None
+
+    def test_empty_rules_allow(self):
+        assert evaluate_rules([], "/anything").allowed
+
+    def test_empty_disallow_never_matches(self):
+        result = evaluate_rules([disallow("")], "/x")
+        assert result.allowed
+        assert result.rule is None
+
+    def test_winning_rule_reported(self):
+        rules = [disallow("/secret")]
+        result = evaluate_rules(rules, "/secret/file")
+        assert result.rule is rules[0]
+        assert result.matched
+
+    def test_wildcard_specificity_by_octets(self):
+        # "/a*" (2 octets + *) vs "/ab" — lengths decide.
+        rules = [disallow("/a*"), allow("/ab")]
+        assert evaluate_rules(rules, "/ab").allowed
+
+
+class TestSpecificity:
+    def test_specificity_is_normalized_length(self):
+        assert pattern_specificity("/abc") == 4
+        assert pattern_specificity("") == 0
+
+    def test_specificity_counts_decoded_octets(self):
+        assert pattern_specificity("/%61bc") == pattern_specificity("/abc")

@@ -1,0 +1,184 @@
+"""Unit tests for the RFC 9309 parser."""
+
+import pytest
+
+from repro.exceptions import RobotsSizeError
+from repro.robots.model import RuleType
+from repro.robots.parser import DEFAULT_MAX_BYTES, ParserOptions, parse, parse_bytes
+
+SIMPLE = """\
+User-agent: Googlebot
+Allow: /
+Crawl-delay: 15
+
+User-agent: *
+Allow: /allowed-data/
+Disallow: /restricted-data/
+Crawl-delay: 30
+
+Sitemap: https://x.example/sitemap/sitemap-0.xml
+"""
+
+
+class TestBasicParsing:
+    def test_two_groups(self):
+        robots = parse(SIMPLE)
+        assert len(robots.groups) == 2
+        assert robots.groups[0].user_agents == ["Googlebot"]
+        assert robots.groups[1].user_agents == ["*"]
+
+    def test_rules_in_order(self):
+        group = parse(SIMPLE).groups[1]
+        assert [(rule.type, rule.path) for rule in group.rules] == [
+            (RuleType.ALLOW, "/allowed-data/"),
+            (RuleType.DISALLOW, "/restricted-data/"),
+        ]
+
+    def test_crawl_delay_attached_to_group(self):
+        robots = parse(SIMPLE)
+        assert robots.groups[0].crawl_delay == 15.0
+        assert robots.groups[1].crawl_delay == 30.0
+
+    def test_sitemap_collected(self):
+        assert parse(SIMPLE).sitemaps == [
+            "https://x.example/sitemap/sitemap-0.xml"
+        ]
+
+    def test_empty_document(self):
+        robots = parse("")
+        assert robots.groups == []
+        assert robots.is_empty
+
+    def test_consecutive_user_agents_share_group(self):
+        robots = parse("User-agent: a\nUser-agent: b\nDisallow: /x\n")
+        assert len(robots.groups) == 1
+        assert robots.groups[0].user_agents == ["a", "b"]
+
+    def test_user_agent_after_rules_starts_new_group(self):
+        robots = parse(
+            "User-agent: a\nDisallow: /x\nUser-agent: b\nDisallow: /y\n"
+        )
+        assert len(robots.groups) == 2
+
+    def test_blank_lines_do_not_split_groups(self):
+        robots = parse("User-agent: a\n\n\nDisallow: /x\n")
+        assert len(robots.groups) == 1
+        assert len(robots.groups[0].rules) == 1
+
+
+class TestRobustness:
+    def test_rule_before_group_counted_invalid(self):
+        robots = parse("Disallow: /x\nUser-agent: *\nDisallow: /y\n")
+        assert robots.invalid_lines == 1
+        assert len(robots.groups[0].rules) == 1
+
+    def test_unknown_fields_skipped(self):
+        robots = parse("User-agent: *\nNoindex: /x\nDisallow: /y\n")
+        assert robots.invalid_lines == 1
+        assert len(robots.groups[0].rules) == 1
+
+    def test_negative_crawl_delay_rejected(self):
+        robots = parse("User-agent: *\nCrawl-delay: -5\n")
+        assert robots.groups[0].crawl_delay is None
+        assert robots.invalid_lines == 1
+
+    def test_non_numeric_crawl_delay_rejected(self):
+        robots = parse("User-agent: *\nCrawl-delay: soon\n")
+        assert robots.groups[0].crawl_delay is None
+
+    def test_extreme_crawl_delay_clamped(self):
+        robots = parse("User-agent: *\nCrawl-delay: 999999\n")
+        assert robots.groups[0].crawl_delay == 3600.0
+
+    def test_crawl_delay_ignored_when_disabled(self):
+        options = ParserOptions(honor_crawl_delay=False)
+        robots = parse("User-agent: *\nCrawl-delay: 30\n", options)
+        assert robots.groups[0].crawl_delay is None
+
+    def test_empty_user_agent_invalid(self):
+        robots = parse("User-agent:\nDisallow: /x\n")
+        assert robots.invalid_lines >= 1
+
+    def test_group_without_rules_kept(self):
+        robots = parse("User-agent: lonely\n")
+        assert len(robots.groups) == 1
+        assert robots.groups[0].rules == []
+
+    def test_byte_soup_never_raises(self):
+        parse("\x00\x01\x02 garbage :: ###\nUser-agent *;;\n")
+
+
+class TestSizeCap:
+    def test_oversize_truncated_by_default(self):
+        body = "User-agent: *\n" + ("# pad\n" * 200_000)
+        robots = parse(body)
+        assert robots.truncated
+        assert robots.source_bytes == DEFAULT_MAX_BYTES
+
+    def test_oversize_raises_when_truncation_disabled(self):
+        body = "User-agent: *\n" + ("# pad\n" * 200_000)
+        with pytest.raises(RobotsSizeError):
+            parse(body, ParserOptions(truncate_oversize=False))
+
+    def test_rules_before_cap_survive_truncation(self):
+        body = "User-agent: *\nDisallow: /secret\n" + ("# pad\n" * 200_000)
+        robots = parse(body)
+        assert robots.groups[0].rules[0].path == "/secret"
+
+    def test_small_document_not_truncated(self):
+        assert not parse(SIMPLE).truncated
+
+
+class TestParseBytes:
+    def test_utf8_bytes(self):
+        robots = parse_bytes("User-agent: *\nDisallow: /café\n".encode())
+        assert robots.groups[0].rules[0].path == "/café"
+
+    def test_invalid_utf8_replaced(self):
+        robots = parse_bytes(b"User-agent: *\nDisallow: /\xff\xfe\n")
+        assert len(robots.groups[0].rules) == 1
+
+
+class TestGroupSelection:
+    def test_specific_group_wins(self):
+        robots = parse(SIMPLE)
+        group = robots.select_group("Googlebot")
+        assert group is not None and group.user_agents == ["Googlebot"]
+
+    def test_fallback_to_catch_all(self):
+        robots = parse(SIMPLE)
+        group = robots.select_group("UnknownBot")
+        assert group is not None and group.is_catch_all
+
+    def test_prefix_token_match(self):
+        robots = parse(SIMPLE)
+        group = robots.select_group("Googlebot-Image")
+        assert group is not None and group.user_agents == ["Googlebot"]
+
+    def test_longest_token_wins(self):
+        text = "User-agent: bot\nDisallow: /a\nUser-agent: botmax\nDisallow: /b\n"
+        robots = parse(text)
+        group = robots.select_group("botmax")
+        assert group is not None and group.user_agents == ["botmax"]
+
+    def test_repeated_token_groups_merged(self):
+        text = (
+            "User-agent: dup\nDisallow: /a\n\n"
+            "User-agent: dup\nDisallow: /b\n"
+        )
+        robots = parse(text)
+        groups = robots.matching_groups("dup")
+        rules = [rule.path for group in groups for rule in group.rules]
+        assert sorted(rules) == ["/a", "/b"]
+
+    def test_no_groups_returns_none(self):
+        assert parse("").select_group("any") is None
+
+
+class TestRender:
+    def test_round_trip_semantics(self):
+        robots = parse(SIMPLE)
+        reparsed = parse(robots.render())
+        assert len(reparsed.groups) == len(robots.groups)
+        assert reparsed.sitemaps == robots.sitemaps
+        assert reparsed.groups[1].crawl_delay == 30.0

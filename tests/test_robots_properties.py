@@ -1,0 +1,139 @@
+"""Property-based tests for the robots.txt engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robots.builder import RobotsBuilder
+from repro.robots.lexer import tokenize
+from repro.robots.matcher import (
+    evaluate_rules,
+    normalize_path,
+    pattern_matches,
+    pattern_specificity,
+)
+from repro.robots.model import Rule, RuleType
+from repro.robots.parser import parse
+from repro.robots.policy import RobotsPolicy
+
+# Path fragments that stay clear of '%' so normalization is identity-ish.
+path_chars = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="/-_."
+    ),
+    min_size=0,
+    max_size=30,
+)
+paths = path_chars.map(lambda fragment: "/" + fragment)
+agent_tokens = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestLexerProperties:
+    @given(st.text(max_size=500))
+    @settings(max_examples=200)
+    def test_tokenize_never_raises(self, text):
+        tokenize(text)
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="\r"), max_size=300))
+    def test_line_count_matches_split(self, text):
+        assert len(tokenize(text)) == len(text.split("\n"))
+
+
+class TestParserProperties:
+    @given(st.text(max_size=500))
+    @settings(max_examples=200)
+    def test_parse_never_raises(self, text):
+        robots = parse(text)
+        assert robots.invalid_lines >= 0
+
+    @given(
+        st.lists(
+            st.tuples(agent_tokens, st.lists(paths, min_size=1, max_size=3)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100)
+    def test_builder_render_parse_round_trip(self, groups):
+        builder = RobotsBuilder()
+        for agent, group_paths in groups:
+            builder.group(agent)
+            for path in group_paths:
+                builder.disallow(path)
+        original = RobotsPolicy.from_robots(builder.build())
+        reparsed = RobotsPolicy.from_text(builder.build_text())
+        for agent, group_paths in groups:
+            for path in group_paths:
+                probe = path + "sub"
+                assert original.can_fetch(agent, probe) == reparsed.can_fetch(
+                    agent, probe
+                )
+
+
+class TestMatcherProperties:
+    @given(paths)
+    def test_pattern_matches_itself_as_prefix(self, path):
+        assert pattern_matches(path, path)
+        assert pattern_matches(path, path + "suffix")
+
+    @given(paths)
+    def test_root_disallow_matches_everything(self, path):
+        assert pattern_matches("/", path)
+
+    @given(paths)
+    def test_normalize_idempotent(self, path):
+        assert normalize_path(normalize_path(path)) == normalize_path(path)
+
+    @given(paths, paths)
+    def test_allow_wins_exact_tie(self, path, probe):
+        rules = [
+            Rule(type=RuleType.DISALLOW, path=path),
+            Rule(type=RuleType.ALLOW, path=path),
+        ]
+        result = evaluate_rules(rules, probe)
+        if result.matched:
+            assert result.allowed
+
+    @given(paths)
+    def test_specificity_positive_for_nonempty(self, path):
+        assert pattern_specificity(path) >= 1
+
+    @given(st.lists(paths, min_size=1, max_size=6), paths)
+    def test_decision_is_deterministic(self, rule_paths, probe):
+        rules = [
+            Rule(
+                type=RuleType.DISALLOW if i % 2 else RuleType.ALLOW,
+                path=path,
+            )
+            for i, path in enumerate(rule_paths)
+        ]
+        first = evaluate_rules(rules, probe)
+        second = evaluate_rules(rules, probe)
+        assert first == second
+
+    @given(st.lists(paths, min_size=0, max_size=6), paths)
+    def test_adding_unrelated_allow_never_denies(self, rule_paths, probe):
+        """Adding an Allow rule can only keep or flip a decision toward
+        allow, never turn an allowed path into a denied one."""
+        rules = [Rule(type=RuleType.DISALLOW, path=path) for path in rule_paths]
+        before = evaluate_rules(rules, probe).allowed
+        rules_with_allow = rules + [Rule(type=RuleType.ALLOW, path=probe)]
+        after = evaluate_rules(rules_with_allow, probe).allowed
+        assert after or not before
+
+
+class TestPolicyProperties:
+    @given(agent_tokens, paths)
+    def test_robots_txt_always_allowed(self, agent, path):
+        policy = RobotsPolicy.from_text(f"User-agent: *\nDisallow: /\n")
+        assert policy.can_fetch(agent, "/robots.txt")
+
+    @given(agent_tokens, paths)
+    def test_allow_all_and_disallow_all_are_opposites(self, agent, path):
+        if path.startswith("/robots.txt"):
+            return
+        assert RobotsPolicy.allow_all().can_fetch(agent, path)
+        assert not RobotsPolicy.disallow_all().can_fetch(agent, path)

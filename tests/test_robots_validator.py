@@ -1,0 +1,73 @@
+"""Unit tests for the robots.txt validator/linter."""
+
+from repro.robots.corpus import RobotsVersion, render_version
+from repro.robots.validator import Severity, is_valid, validate
+
+
+def codes(text: str) -> set[str]:
+    return {finding.code for finding in validate(text)}
+
+
+class TestErrors:
+    def test_clean_file_has_no_errors(self):
+        assert is_valid("User-agent: *\nDisallow: /private\n")
+
+    def test_rule_before_group(self):
+        assert "rule-no-group" in codes("Disallow: /x\nUser-agent: *\n")
+        assert not is_valid("Disallow: /x\n")
+
+    def test_invalid_line(self):
+        assert "invalid-line" in codes("User-agent: *\nThis is not a field\n")
+
+    def test_empty_user_agent(self):
+        assert "empty-user-agent" in codes("User-agent:\nDisallow: /\n")
+
+    def test_bad_crawl_delay(self):
+        assert "delay-not-numeric" in codes("User-agent: *\nCrawl-delay: x\n")
+        assert "delay-negative" in codes("User-agent: *\nCrawl-delay: -3\n")
+
+    def test_delay_before_group(self):
+        assert "delay-no-group" in codes("Crawl-delay: 5\n")
+
+
+class TestWarnings:
+    def test_unrooted_path(self):
+        assert "path-not-rooted" in codes("User-agent: *\nDisallow: private\n")
+
+    def test_extreme_delay(self):
+        assert "delay-extreme" in codes("User-agent: *\nCrawl-delay: 4000\n")
+        assert "delay-extreme" not in codes("User-agent: *\nCrawl-delay: 30\n")
+
+    def test_relative_sitemap(self):
+        assert "sitemap-relative" in codes("Sitemap: /sitemap.xml\n")
+
+    def test_duplicate_agent_across_groups(self):
+        text = (
+            "User-agent: bot\nDisallow: /a\n\n"
+            "User-agent: bot\nDisallow: /b\n"
+        )
+        assert "duplicate-agent" in codes(text)
+
+    def test_conflicting_root_rules(self):
+        text = "User-agent: *\nDisallow: /\nAllow: /\n"
+        assert "conflicting-root-rules" in codes(text)
+
+    def test_warnings_do_not_fail_validation(self):
+        assert is_valid("User-agent: *\nCrawl-delay: 4000\n")
+
+
+class TestInfo:
+    def test_empty_group_reported(self):
+        findings = validate("User-agent: lonely\n")
+        assert any(
+            finding.code == "empty-group" and finding.severity is Severity.INFO
+            for finding in findings
+        )
+
+
+class TestPaperCorpus:
+    def test_all_experiment_versions_validate(self):
+        """The paper validated each file with Google's parser; ours
+        must agree that all four versions are clean."""
+        for version in RobotsVersion:
+            assert is_valid(render_version(version)), version

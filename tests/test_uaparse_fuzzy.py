@@ -1,0 +1,88 @@
+"""Unit and property tests for fuzzy bot-name matching."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uaparse.fuzzy import best_match, levenshtein, normalize_name, similarity
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("googlebot", "googlebot") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("googlebot", "gooblebot") <= 2
+
+    def test_empty_cases(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    @given(names, names)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(names, names)
+    def test_bounds(self, a, b):
+        distance = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= distance <= max(len(a), len(b))
+
+    @given(names, names, names)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNormalizeName:
+    def test_lowercases_and_strips_separators(self):
+        assert normalize_name("Google Bot") == "googlebot"
+        assert normalize_name("google-bot") == "googlebot"
+        assert normalize_name("google_bot") == "googlebot"
+
+    def test_strips_version_suffix(self):
+        assert normalize_name("Googlebot/2.1") == "googlebot"
+
+    def test_keeps_non_version_slash(self):
+        # yandex.com/bots is a name, not a version suffix.
+        assert "bots" in normalize_name("yandex.com/bots")
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        assert similarity("GPTBot", "gptbot") == 1.0
+
+    def test_unrelated_is_low(self):
+        assert similarity("Googlebot", "Bytespider") < 0.5
+
+    @given(names, names)
+    def test_range(self, a, b):
+        assert 0.0 <= similarity(a, b) <= 1.0
+
+
+class TestBestMatch:
+    CANON = ["Googlebot", "GPTBot", "ClaudeBot", "Bytespider", "bingbot"]
+
+    def test_exact_normalized_match(self):
+        assert best_match("googlebot/2.1", self.CANON) == ("Googlebot", 1.0)
+
+    def test_close_misspelling(self):
+        match = best_match("GoogleBott", self.CANON)
+        assert match is not None and match[0] == "Googlebot"
+
+    def test_no_match_below_threshold(self):
+        assert best_match("CompletelyDifferent", self.CANON) is None
+
+    def test_empty_candidates(self):
+        assert best_match("anything", []) is None
+
+    def test_threshold_configurable(self):
+        loose = best_match("Gooqle", self.CANON, threshold=0.5)
+        assert loose is not None

@@ -1,0 +1,80 @@
+"""Unit tests for the User-Agent header parser."""
+
+from repro.uaparse.parser import ProductToken, parse_user_agent
+
+GOOGLEBOT = "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)"
+CHROME = (
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/120.0.0.0 Safari/537.36"
+)
+
+
+class TestProducts:
+    def test_leading_product(self):
+        ua = parse_user_agent(GOOGLEBOT)
+        assert ua.primary == ProductToken(name="Mozilla", version="5.0")
+
+    def test_all_products_in_order(self):
+        ua = parse_user_agent(CHROME)
+        names = [product.name for product in ua.products]
+        assert names == ["Mozilla", "AppleWebKit", "Chrome", "Safari"]
+
+    def test_product_without_version(self):
+        ua = parse_user_agent("curl")
+        assert ua.primary == ProductToken(name="curl", version=None)
+
+    def test_str_round_trip(self):
+        assert str(ProductToken("GPTBot", "1.2")) == "GPTBot/1.2"
+        assert str(ProductToken("curl", None)) == "curl"
+
+
+class TestComments:
+    def test_comment_contents(self):
+        ua = parse_user_agent(GOOGLEBOT)
+        assert ua.comments == (
+            "compatible; Googlebot/2.1; +http://www.google.com/bot.html",
+        )
+
+    def test_comment_tokens_split_on_semicolons(self):
+        ua = parse_user_agent(GOOGLEBOT)
+        assert "compatible" in ua.comment_tokens
+        assert "Googlebot/2.1" in ua.comment_tokens
+
+    def test_nested_parentheses_kept(self):
+        ua = parse_user_agent("Agent/1.0 (outer (inner) rest)")
+        assert ua.comments == ("outer (inner) rest",)
+
+    def test_unterminated_comment_runs_to_end(self):
+        ua = parse_user_agent("Agent/1.0 (never closed")
+        assert ua.comments == ("never closed",)
+
+
+class TestIdentifiers:
+    def test_identifiers_include_comment_products(self):
+        ua = parse_user_agent(GOOGLEBOT)
+        assert "Googlebot" in ua.all_identifiers()
+
+    def test_info_urls_skipped(self):
+        ua = parse_user_agent(GOOGLEBOT)
+        assert not any(
+            identifier.startswith("http") for identifier in ua.all_identifiers()
+        )
+
+    def test_mentions_case_insensitive(self):
+        assert parse_user_agent(GOOGLEBOT).mentions("googlebot")
+        assert not parse_user_agent(CHROME).mentions("googlebot")
+
+
+class TestRobustness:
+    def test_empty_value(self):
+        ua = parse_user_agent("")
+        assert ua.products == ()
+        assert ua.primary is None
+
+    def test_none_like_value(self):
+        assert parse_user_agent(None).raw == ""  # type: ignore[arg-type]
+
+    def test_garbage_never_raises(self):
+        parse_user_agent(")(()((")
+        parse_user_agent("\x00\x01")
+        parse_user_agent("a/b/c//d")

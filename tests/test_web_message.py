@@ -1,0 +1,61 @@
+"""Unit tests for the HTTP message model."""
+
+from repro.web.message import REASON_PHRASES, Request, Response, make_body_response
+
+
+def make_request(path: str = "/a?b=1") -> Request:
+    return Request(
+        host="x.example",
+        path=path,
+        user_agent="Bot/1.0",
+        client_ip="198.51.100.1",
+        asn=64512,
+        timestamp=100.0,
+    )
+
+
+class TestRequest:
+    def test_url(self):
+        assert make_request().url == "https://x.example/a?b=1"
+
+    def test_path_only_strips_query(self):
+        assert make_request("/a?b=1").path_only == "/a"
+        assert make_request("/a").path_only == "/a"
+
+    def test_defaults(self):
+        request = make_request()
+        assert request.method == "GET"
+        assert request.referer is None
+
+    def test_frozen(self):
+        request = make_request()
+        try:
+            request.path = "/other"
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated
+
+
+class TestResponse:
+    def test_ok_range(self):
+        assert Response(status=200).ok
+        assert Response(status=204).ok
+        assert not Response(status=404).ok
+        assert not Response(status=301).ok
+
+    def test_reason_phrases(self):
+        assert Response(status=200).reason == "OK"
+        assert Response(status=404).reason == "Not Found"
+        assert Response(status=418).reason == "Unknown"
+
+    def test_known_phrases_complete(self):
+        for status in (200, 301, 302, 304, 400, 403, 404, 429, 500, 503):
+            assert status in REASON_PHRASES
+
+    def test_make_body_response(self):
+        response = make_body_response(b"hello", "text/plain")
+        assert response.status == 200
+        assert response.body == b"hello"
+        assert response.body_bytes == 5
+        assert response.content_type == "text/plain"

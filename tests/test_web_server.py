@@ -1,0 +1,174 @@
+"""Unit tests for the in-memory web substrate."""
+
+from repro.robots.corpus import RobotsVersion, render_version
+from repro.web.generator import (
+    EXPERIMENT_SITE,
+    build_site,
+    build_university_sites,
+    site_hostnames,
+)
+from repro.web.message import Request, Response
+from repro.web.server import WebServer
+from repro.web.site import Page, Website
+
+import numpy as np
+
+
+def make_request(host: str, path: str, timestamp: float = 0.0) -> Request:
+    return Request(
+        host=host,
+        path=path,
+        user_agent="TestBot/1.0",
+        client_ip="203.0.113.7",
+        asn=64512,
+        timestamp=timestamp,
+    )
+
+
+def simple_site(hostname: str = "a.example") -> Website:
+    site = Website(hostname=hostname)
+    site.add_page(Page(path="/", size_bytes=1000, section="home"))
+    site.add_page(Page(path="/news/x", size_bytes=2000, section="news"))
+    return site
+
+
+class TestRouting:
+    def test_serves_existing_page(self):
+        server = WebServer()
+        server.host(simple_site())
+        response = server.handle(make_request("a.example", "/news/x"))
+        assert response.status == 200
+        assert response.body_bytes == 2000
+
+    def test_404_for_missing_page(self):
+        server = WebServer()
+        server.host(simple_site())
+        assert server.handle(make_request("a.example", "/missing")).status == 404
+
+    def test_404_for_unknown_host(self):
+        server = WebServer()
+        assert server.handle(make_request("nope.example", "/")).status == 404
+
+    def test_query_string_ignored_for_lookup(self):
+        server = WebServer()
+        server.host(simple_site())
+        response = server.handle(make_request("a.example", "/news/x?utm=1"))
+        assert response.status == 200
+
+    def test_trailing_slash_fallback(self):
+        server = WebServer()
+        server.host(simple_site())
+        assert server.handle(make_request("a.example", "/news/x/")).status == 200
+
+    def test_hooks_called_per_request(self):
+        server = WebServer()
+        server.host(simple_site())
+        seen: list[tuple[Request, Response]] = []
+        server.add_hook(lambda request, response: seen.append((request, response)))
+        server.handle(make_request("a.example", "/"))
+        server.handle(make_request("a.example", "/missing"))
+        assert len(seen) == 2
+        assert seen[1][1].status == 404
+        assert server.requests_handled == 2
+
+
+class TestRobotsServing:
+    def test_robots_txt_served_with_body(self):
+        server = WebServer()
+        site = simple_site()
+        site.set_robots("User-agent: *\nDisallow: /news\n")
+        server.host(site)
+        response = server.handle(make_request("a.example", "/robots.txt"))
+        assert response.status == 200
+        assert b"Disallow: /news" in (response.body or b"")
+
+    def test_robots_error_status(self):
+        server = WebServer()
+        site = simple_site()
+        site.set_robots("", status=503)
+        server.host(site)
+        assert server.handle(make_request("a.example", "/robots.txt")).status == 503
+
+    def test_scheduled_robots_follows_timestamp(self):
+        server = WebServer()
+        site = simple_site()
+        site.schedule_robots(100.0, render_version(RobotsVersion.V1_CRAWL_DELAY))
+        site.schedule_robots(200.0, render_version(RobotsVersion.V3_DISALLOW_ALL))
+        server.host(site)
+
+        def robots_body(timestamp: float) -> str:
+            response = server.handle(
+                make_request("a.example", "/robots.txt", timestamp)
+            )
+            return (response.body or b"").decode()
+
+        assert "Crawl-delay" not in robots_body(50.0)
+        assert "Crawl-delay: 30" in robots_body(150.0)
+        assert "Disallow: /" in robots_body(250.0)
+        assert "Crawl-delay" not in robots_body(250.0)
+
+    def test_sitemap_served(self):
+        server = WebServer()
+        server.host(simple_site())
+        response = server.handle(make_request("a.example", "/sitemap.xml"))
+        assert response.status == 200
+        assert b"<urlset" in (response.body or b"")
+
+
+class TestSiteModel:
+    def test_section_index_cached_and_invalidated(self):
+        site = simple_site()
+        assert site.paths_in_section("news") == ["/news/x"]
+        site.add_page(Page(path="/news/y", size_bytes=1, section="news"))
+        assert sorted(site.paths_in_section("news")) == ["/news/x", "/news/y"]
+
+    def test_total_bytes(self):
+        assert simple_site().total_bytes == 3000
+
+    def test_sitemap_lists_html_only(self):
+        site = simple_site()
+        site.add_page(
+            Page(
+                path="/page-data/x.json",
+                size_bytes=10,
+                content_type="application/json",
+                section="page-data",
+            )
+        )
+        xml = site.sitemap_xml()
+        assert "/news/x" in xml
+        assert "page-data" not in xml
+
+
+class TestGenerator:
+    def test_36_sites(self):
+        assert len(site_hostnames()) == 36
+        assert len(build_university_sites(seed=1)) == 36
+
+    def test_experiment_site_is_people_heavy(self):
+        sites = {site.hostname: site for site in build_university_sites(seed=1)}
+        directory = sites[EXPERIMENT_SITE]
+        assert len(directory.paths_in_section("people")) >= 1000
+
+    def test_every_site_has_page_data_and_meta_paths(self):
+        for site in build_university_sites(seed=1):
+            assert site.paths_in_section("page-data"), site.hostname
+            assert "/404" in site.pages
+            assert "/dev-404-page" in site.pages
+            assert site.paths_in_section("secure")
+
+    def test_deterministic_generation(self):
+        first = build_university_sites(seed=5)
+        second = build_university_sites(seed=5)
+        assert [site.hostname for site in first] == [s.hostname for s in second]
+        assert [len(site) for site in first] == [len(site) for site in second]
+
+    def test_docs_pages_larger_than_page_data(self):
+        rng = np.random.default_rng(3)
+        site = build_site("x.example", rng, n_docs=30)
+        docs = [site.pages[path].size_bytes for path in site.paths_in_section("docs")]
+        json_pages = [
+            site.pages[path].size_bytes
+            for path in site.paths_in_section("page-data")
+        ]
+        assert sorted(docs)[len(docs) // 2] > sorted(json_pages)[len(json_pages) // 2]
