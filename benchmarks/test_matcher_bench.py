@@ -1,0 +1,223 @@
+"""Throughput benchmarks: compiled robots engine vs the legacy scan.
+
+Establishes the perf baseline for the compiled policy-evaluation
+engine (:mod:`repro.robots.compiled`) against the legacy path — a
+fresh ``matching_groups`` + ``evaluate_rules`` pass per query, which
+is exactly what ``RobotsPolicy.decide`` did before the engine landed.
+
+Three workloads, mirroring the hot paths named in the roadmap:
+
+1. repeated single ``can_fetch`` calls against a 100-rule policy;
+2. batch ``can_fetch_many`` over a path list;
+3. ``RobotsObservatory.restrictiveness_series`` over 240 snapshots.
+
+Each asserts a ≥ 5× speedup (observed locally: well above that) and
+cross-checks verdict equality so the speed never drifts from the
+semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.observatory import RobotsObservatory, restrictiveness
+from repro.robots.builder import RobotsBuilder
+from repro.robots.diff import DEFAULT_PROBE_AGENTS, DEFAULT_PROBE_PATHS
+from repro.robots.matcher import evaluate_rules
+from repro.robots.policy import RobotsPolicy
+
+#: Required speedup of the compiled engine over the legacy scan.
+MIN_SPEEDUP = 5.0
+
+#: Shared CI runners (CPU steal, thermal variance) make wall-clock
+#: ratios flaky, so the hard gate only applies off-CI; CI still runs
+#: the workloads and their correctness cross-checks.
+ENFORCE_SPEEDUP = not os.environ.get("CI")
+
+
+def assert_speedup(speedup: float) -> None:
+    if ENFORCE_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP
+
+
+def build_hundred_rule_policy() -> RobotsPolicy:
+    """A deterministic 100-rule policy shaped like real-world files:
+    mostly literal prefixes, a sprinkling of wildcards and anchors."""
+    builder = RobotsBuilder().group("*").allow("/")
+    count = 1
+    for section in range(12):
+        for page in range(7):
+            builder.disallow(f"/section-{section:02d}/private-{page}")
+            count += 1
+    for section in range(8):
+        builder.disallow(f"/section-{section:02d}/*.json$")
+        count += 1
+    for extra in range(100 - count):
+        builder.allow(f"/section-{extra:02d}/public")
+    robots = builder.build()
+    assert sum(len(group.rules) for group in robots.groups) == 100
+    return RobotsPolicy.from_robots(robots)
+
+
+PROBE_PATHS: tuple[str, ...] = tuple(
+    [f"/section-{i:02d}/private-{i % 7}" for i in range(6)]
+    + [f"/section-{i:02d}/article-{i}" for i in range(6)]
+    + ["/", "/news/x", "/section-03/data.json", "/section-99/miss"]
+)
+
+
+def legacy_can_fetch(policy: RobotsPolicy, agent: str, path: str) -> bool:
+    """The pre-compiled hot path: group resolution + full rule scan,
+    re-normalizing and re-scoring every rule, on every call."""
+    if path.startswith("/robots.txt"):
+        return True
+    assert policy.robots is not None
+    groups = policy.robots.matching_groups(agent)
+    rules = [rule for group in groups for rule in group.rules]
+    return evaluate_rules(rules, path).allowed
+
+
+def best_time(fn, repeats: int = 3) -> float:
+    """Minimum wall-clock of ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_single_can_fetch_speedup():
+    policy = build_hundred_rule_policy()
+    agent = "GPTBot"
+    rounds = 300
+
+    # Verdicts must agree before speed matters.
+    for path in PROBE_PATHS:
+        assert policy.can_fetch(agent, path) == legacy_can_fetch(
+            policy, agent, path
+        )
+
+    def run_legacy():
+        for _ in range(rounds):
+            for path in PROBE_PATHS:
+                legacy_can_fetch(policy, agent, path)
+
+    def run_compiled():
+        for _ in range(rounds):
+            for path in PROBE_PATHS:
+                policy.can_fetch(agent, path)
+
+    policy.can_fetch(agent, "/")  # warm the compiled memo
+    legacy_elapsed = best_time(run_legacy)
+    compiled_elapsed = best_time(run_compiled)
+    speedup = legacy_elapsed / compiled_elapsed
+    print(
+        f"\nsingle can_fetch x{rounds * len(PROBE_PATHS)}: "
+        f"legacy {legacy_elapsed:.4f}s, compiled {compiled_elapsed:.4f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert_speedup(speedup)
+
+
+def test_batch_can_fetch_many_speedup():
+    policy = build_hundred_rule_policy()
+    agent = "ClaudeBot"
+    rounds = 300
+    paths = list(PROBE_PATHS)
+
+    assert policy.can_fetch_many(agent, paths) == [
+        legacy_can_fetch(policy, agent, path) for path in paths
+    ]
+
+    def run_legacy():
+        for _ in range(rounds):
+            [legacy_can_fetch(policy, agent, path) for path in paths]
+
+    def run_batch():
+        for _ in range(rounds):
+            policy.can_fetch_many(agent, paths)
+
+    policy.can_fetch_many(agent, paths)  # warm the compiled memo
+    legacy_elapsed = best_time(run_legacy)
+    batch_elapsed = best_time(run_batch)
+    speedup = legacy_elapsed / batch_elapsed
+    print(
+        f"\nbatch can_fetch_many x{rounds}: "
+        f"legacy {legacy_elapsed:.4f}s, batch {batch_elapsed:.4f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert_speedup(speedup)
+
+
+def _observatory_with_snapshots(snapshots: int) -> RobotsObservatory:
+    """An observatory holding ``snapshots`` dated robots.txt variants
+    (three rotating shapes, like a site tightening over time)."""
+    texts = []
+    for variant in range(3):
+        builder = RobotsBuilder()
+        for index, agent in enumerate(DEFAULT_PROBE_AGENTS):
+            group = builder.group(agent).allow("/")
+            if (index + variant) % 2:
+                group.disallow("/news/")
+            group.disallow(f"/secure/area-{variant:03d}")
+        builder.group("*").disallow("/404")
+        texts.append(builder.build_text())
+    observatory = RobotsObservatory()
+    for index in range(snapshots):
+        observatory.record(
+            "site.example", float(index) * 86_400.0, texts[index % 3]
+        )
+    return observatory
+
+
+def legacy_restrictiveness_series(
+    observatory: RobotsObservatory, site: str
+) -> list[tuple[float, float]]:
+    """The pre-batch series loop: one legacy scan per (agent, path)."""
+    series = []
+    for snapshot in observatory.history(site):
+        denied = 0
+        total = 0
+        for agent in DEFAULT_PROBE_AGENTS:
+            for path in DEFAULT_PROBE_PATHS:
+                total += 1
+                if not legacy_can_fetch(snapshot.policy, agent, path):
+                    denied += 1
+        series.append((snapshot.fetched_at, denied / total))
+    return series
+
+
+def test_observatory_series_speedup():
+    observatory = _observatory_with_snapshots(240)
+
+    # Warm snapshot parse caches (cached_property) and compiled memos
+    # so both sides time evaluation, not parsing.
+    compiled_series = observatory.restrictiveness_series("site.example")
+    legacy_series = legacy_restrictiveness_series(observatory, "site.example")
+    assert compiled_series == legacy_series
+    assert len(compiled_series) == 240
+
+    legacy_elapsed = best_time(
+        lambda: legacy_restrictiveness_series(observatory, "site.example")
+    )
+    compiled_elapsed = best_time(
+        lambda: observatory.restrictiveness_series("site.example")
+    )
+    speedup = legacy_elapsed / compiled_elapsed
+    print(
+        f"\nrestrictiveness_series over 240 snapshots: "
+        f"legacy {legacy_elapsed:.4f}s, compiled {compiled_elapsed:.4f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert_speedup(speedup)
+
+
+def test_probe_matrix_agrees_with_restrictiveness():
+    """The batch matrix and the scalar metric stay consistent."""
+    policy = build_hundred_rule_policy()
+    value = restrictiveness(policy)
+    matrix = policy.probe_matrix(DEFAULT_PROBE_AGENTS, DEFAULT_PROBE_PATHS)
+    denied = sum(1 for row in matrix for ok in row if not ok)
+    assert value == denied / (len(DEFAULT_PROBE_AGENTS) * len(DEFAULT_PROBE_PATHS))

@@ -55,10 +55,19 @@ def _is_exempt(robots_token: str) -> bool:
 
 @dataclass
 class _SiteRobotsState:
-    """Per-origin robots.txt bookkeeping."""
+    """Per-origin robots.txt bookkeeping.
+
+    ``allow_verdicts`` is only populated for strict agents: one batch
+    :meth:`~repro.robots.policy.RobotsPolicy.can_fetch_many` sweep
+    over the site's path inventory at fetch time, so per-request
+    compliance checks during sessions are dict lookups instead of
+    rule evaluations.  Paths that appear after the sweep (sites can
+    grow mid-run) fall back to a live policy check.
+    """
 
     last_check: float | None = None
     policy: RobotsPolicy | None = None
+    allow_verdicts: dict[str, bool] | None = None
 
 
 @dataclass
@@ -74,6 +83,12 @@ class BotAgent:
         compliance_override: replaces the profile's compliance for
             spoofed instances.
         suffix: distinguishes the RNG stream of spoofed instances.
+        strict_robots: when True the agent is a perfectly compliant
+            counterfactual: it never requests a path its cached
+            robots.txt policy denies.  Enforcement uses a denied-path
+            set precomputed in one batch pass per robots fetch (see
+            :class:`_SiteRobotsState`); default off, leaving the
+            calibrated paper behaviour untouched.
     """
 
     profile: BotProfile
@@ -82,6 +97,7 @@ class BotAgent:
     asn: int | None = None
     compliance_override: ComplianceProfile | None = None
     suffix: str = ""
+    strict_robots: bool = False
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(
@@ -132,6 +148,8 @@ class BotAgent:
             path = self._choose_path(site, version, now)
             if path == ROBOTS_PATH:
                 self._fetch_robots(site, now, ip)
+            elif self._strictly_denied(site, path):
+                pass  # compliant counterfactual: denied target skipped
             else:
                 self._request(site, path, now, ip)
             if index + 1 < n_pages:
@@ -193,6 +211,26 @@ class BotAgent:
         state = self._robots.setdefault(site.hostname, _SiteRobotsState())
         state.last_check = now
         state.policy = resolve_fetch(response.status, response.body or b"").policy
+        if self.strict_robots:
+            inventory = site.all_paths()
+            verdicts = state.policy.can_fetch_many(
+                self.profile.robots_token, inventory
+            )
+            state.allow_verdicts = dict(zip(inventory, verdicts))
+
+    def _strictly_denied(self, site: Website, path: str) -> bool:
+        """Whether a strict agent must skip ``path`` on this site."""
+        if not self.strict_robots:
+            return False
+        state = self._robots.get(site.hostname)
+        if state is None or state.policy is None:
+            return False  # nothing fetched yet: nothing to comply with
+        if state.allow_verdicts is not None:
+            allowed = state.allow_verdicts.get(path)
+            if allowed is not None:
+                return not allowed
+        # Path unknown at sweep time (site grew since): live check.
+        return not state.policy.can_fetch(self.profile.robots_token, path)
 
     def _advertised_delay(self, site: Website) -> float | None:
         """Crawl delay the bot believes applies (from its cached policy)."""

@@ -7,6 +7,14 @@ front of a :class:`~repro.web.server.WebServer`.  Unlike robots.txt,
 everything here is enforced server-side, which is exactly the
 contrast the paper's conclusion calls for evaluating.
 
+The optional ``robots`` stage turns the advisory file into an
+enforced one: requests a :class:`~repro.robots.policy.RobotsPolicy`
+denies get a 403 instead of content.  Because the gateway sits on the
+per-request hot path, those checks run through the policy's compiled
+engine (:mod:`repro.robots.compiled`), which memoizes one pre-sorted
+rule set per user-agent string rather than re-resolving groups and
+re-normalizing patterns on every request.
+
 The gateway exposes the same ``handle(request)`` interface as the
 server, so bot agents can be pointed at it unchanged and the standard
 analysis pipeline measures what got through.
@@ -16,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..robots.policy import RobotsPolicy
 from ..web.message import Request, Response
 from ..web.server import WebServer
 from .blocklist import Blocklist, EscalationRule
@@ -31,10 +40,17 @@ class GatewayStats:
     blocked: int = 0
     throttled: int = 0
     tarpitted: int = 0
+    robots_denied: int = 0
 
     @property
     def total(self) -> int:
-        return self.served + self.blocked + self.throttled + self.tarpitted
+        return (
+            self.served
+            + self.blocked
+            + self.throttled
+            + self.tarpitted
+            + self.robots_denied
+        )
 
     def deterred_fraction(self) -> float:
         """Fraction of requests that did not reach real content."""
@@ -45,11 +61,15 @@ class GatewayStats:
 
 @dataclass
 class DeterrenceGateway:
-    """Policy chain: blocklist -> rate limit (+escalation) -> tarpit.
+    """Policy chain: blocklist -> robots -> rate limit (+escalation)
+    -> tarpit.
 
     Args:
         server: the origin being protected.
         blocklist: explicit blocks (optional).
+        robots: when set, the robots.txt policy is *enforced*:
+            requests it denies get a 403 (evaluated via the policy's
+            compiled engine; the robots file itself stays fetchable).
         limiter: rate limiter (optional).
         escalation: throttle-to-block escalation (optional; requires
             ``limiter``).
@@ -61,11 +81,15 @@ class DeterrenceGateway:
 
     server: WebServer
     blocklist: Blocklist | None = None
+    robots: RobotsPolicy | None = None
     limiter: RateLimiter | None = None
     escalation: EscalationRule | None = None
     tarpit: TarpitGenerator | None = None
     tarpit_agents: tuple[str, ...] = ()
     stats: GatewayStats = field(default_factory=GatewayStats)
+    _token_cache: dict[str, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def handle(self, request: Request) -> Response:
         """Apply the policy chain, falling through to the origin."""
@@ -77,6 +101,11 @@ class DeterrenceGateway:
             if reason is not None:
                 self.stats.blocked += 1
                 return Response(status=403, body_bytes=0)
+        if self.robots is not None and not self.robots.can_fetch(
+            self._robots_token(request.user_agent), request.path
+        ):
+            self.stats.robots_denied += 1
+            return Response(status=403, body_bytes=0)
         if self.limiter is not None and not self.limiter.check(
             request.client_ip, request.asn, request.user_agent, now
         ):
@@ -97,6 +126,41 @@ class DeterrenceGateway:
             )
         self.stats.served += 1
         return self.server.handle(request)
+
+    def _robots_token(self, user_agent: str) -> str:
+        """Product token to evaluate robots rules under for a raw
+        User-Agent header.
+
+        Crawlers match robots groups against their *product token*
+        ("GPTBot"), not their full header ("Mozilla/5.0 (compatible;
+        GPTBot/1.1; ...)").  Server-side enforcement must make the
+        same reduction, so we look for the longest group token the
+        policy names inside the header (case-insensitive) and fall
+        back to the raw header — which then only matches the
+        catch-all group.  Memoized per header string: the hot path
+        costs one dict lookup.
+        """
+        token = self._token_cache.get(user_agent)
+        if token is None:
+            token = user_agent
+            lowered = user_agent.lower()
+            assert self.robots is not None
+            if self.robots.robots is not None:
+                candidates = sorted(
+                    {
+                        agent
+                        for group in self.robots.robots.groups
+                        for agent in group.user_agents
+                        if agent != "*"
+                    },
+                    key=lambda token: (-len(token), token),
+                )
+                for candidate in candidates:
+                    if candidate.lower() in lowered:
+                        token = candidate
+                        break
+            self._token_cache[user_agent] = token
+        return token
 
     def _should_tarpit(self, request: Request) -> bool:
         assert self.tarpit is not None

@@ -79,6 +79,9 @@ class PreprocessReport:
         scanner_records: rows removed with them.
         identified_bots: rows matched to a known bot.
         unique_asns: distinct ASNs enriched via whois.
+        whois_misses: rows left without ``asn_name`` because the
+            whois client returned no result for their ASN (partial
+            result maps happen with real whois backends).
     """
 
     input_records: int = 0
@@ -86,6 +89,7 @@ class PreprocessReport:
     scanner_records: int = 0
     identified_bots: int = 0
     unique_asns: int = 0
+    whois_misses: int = 0
 
 
 class Preprocessor:
@@ -131,7 +135,11 @@ class Preprocessor:
             kept.append(record)
         whois_results = self._whois.lookup_many(asns)
         for record in kept:
-            record.asn_name = whois_results[record.asn].handle
+            result = whois_results.get(record.asn)
+            if result is None:
+                report.whois_misses += 1
+            else:
+                record.asn_name = result.handle
         report.unique_asns = len(asns)
         return kept, report
 

@@ -15,6 +15,13 @@ Example::
     observatory.tightening_slope("site.example")   # > 0: tightening
     for event in observatory.change_events("site.example"):
         print(event.site, event.when, event.diff.strictness_score())
+
+All probe metrics (restrictiveness, AI index, fully-blocked agents)
+evaluate through the compiled engine's batch ``probe_matrix``
+(:mod:`repro.robots.compiled`): each snapshot's policy compiles its
+per-agent rule sets once and every probe path is normalized once, so
+long restrictiveness series cost O(snapshots × probes) cheap matches
+rather than O(snapshots × probes × rules) re-normalizations.
 """
 
 from __future__ import annotations
@@ -75,15 +82,19 @@ def restrictiveness(
     agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS,
     paths: tuple[str, ...] = DEFAULT_PROBE_PATHS,
 ) -> float:
-    """Fraction of (agent, path) probes denied, in [0, 1]."""
-    total = 0
-    denied = 0
-    for agent in agents:
-        for path in paths:
-            total += 1
-            if not policy.can_fetch(agent, path):
-                denied += 1
-    return denied / total if total else 0.0
+    """Fraction of (agent, path) probes denied, in [0, 1].
+
+    Evaluated via the compiled engine's batch
+    :meth:`~repro.robots.policy.RobotsPolicy.probe_matrix`, which
+    normalizes each probe path once and resolves each agent's rule
+    set once per policy instead of per probe.
+    """
+    total = len(agents) * len(paths)
+    if not total:
+        return 0.0
+    matrix = policy.probe_matrix(agents, paths)
+    denied = sum(1 for row in matrix for allowed in row if not allowed)
+    return denied / total
 
 
 def ai_restriction_index(
@@ -99,14 +110,20 @@ def ai_restriction_index(
 
 
 def fully_blocked_agents(
-    policy: RobotsPolicy, agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS
+    policy: RobotsPolicy,
+    agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS,
+    paths: tuple[str, ...] = DEFAULT_PROBE_PATHS,
 ) -> list[str]:
-    """Probe agents denied every non-robots path."""
-    blocked = []
-    for agent in agents:
-        if not any(policy.can_fetch(agent, path) for path in DEFAULT_PROBE_PATHS):
-            blocked.append(agent)
-    return blocked
+    """Probe agents denied every non-robots path in ``paths``."""
+    probe_paths = tuple(
+        path for path in paths if not path.startswith("/robots.txt")
+    )
+    if not probe_paths:
+        return []  # nothing probed: vacuous "all denied" would mislead
+    matrix = policy.probe_matrix(agents, probe_paths)
+    return [
+        agent for agent, row in zip(agents, matrix) if not any(row)
+    ]
 
 
 @dataclass
@@ -114,6 +131,9 @@ class RobotsObservatory:
     """Snapshot store with longitudinal analytics."""
 
     _snapshots: dict[str, list[Snapshot]] = field(default_factory=dict, repr=False)
+    #: Per-site fetch times, kept parallel to ``_snapshots`` so point
+    #: queries can bisect instead of scanning the history.
+    _times: dict[str, list[float]] = field(default_factory=dict, repr=False)
 
     # -- recording -------------------------------------------------------
 
@@ -121,10 +141,10 @@ class RobotsObservatory:
         """Store one observation (kept sorted by time)."""
         snapshot = Snapshot(site=site, fetched_at=fetched_at, text=text)
         history = self._snapshots.setdefault(site, [])
-        position = bisect.bisect(
-            [existing.fetched_at for existing in history], fetched_at
-        )
+        times = self._times.setdefault(site, [])
+        position = bisect.bisect(times, fetched_at)
         history.insert(position, snapshot)
+        times.insert(position, fetched_at)
         return snapshot
 
     def sites(self) -> list[str]:
@@ -140,15 +160,18 @@ class RobotsObservatory:
         return history[-1] if history else None
 
     def at(self, site: str, when: float) -> Snapshot | None:
-        """The snapshot in force at time ``when`` (latest not after)."""
-        history = self._snapshots.get(site, [])
-        result: Snapshot | None = None
-        for snapshot in history:
-            if snapshot.fetched_at <= when:
-                result = snapshot
-            else:
-                break
-        return result
+        """The snapshot in force at time ``when`` (latest not after).
+
+        O(log n) over the maintained time index, so point queries stay
+        cheap on histories with thousands of snapshots.
+        """
+        times = self._times.get(site)
+        if not times:
+            return None
+        position = bisect.bisect_right(times, when)
+        if position == 0:
+            return None
+        return self._snapshots[site][position - 1]
 
     # -- longitudinal analytics ---------------------------------------------------
 

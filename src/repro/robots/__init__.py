@@ -3,7 +3,11 @@
 The public surface of this package:
 
 - :func:`parse` / :func:`parse_bytes` — text -> :class:`RobotsFile`;
-- :class:`RobotsPolicy` — the access-decision API crawlers consult;
+- :class:`RobotsPolicy` — the access-decision API crawlers consult
+  (single-shot and batch, backed by the compiled engine);
+- :class:`CompiledPolicy` / :class:`CompiledRuleSet` — the
+  normalize-once, sort-once, early-exit evaluation engine
+  (:mod:`~repro.robots.compiled`);
 - :class:`RobotsBuilder` — programmatic document construction;
 - :func:`validate` / :func:`is_valid` — linting;
 - :class:`RobotsCache` — TTL caching as real crawlers do it;
@@ -12,6 +16,7 @@ The public surface of this package:
 
 from .builder import RobotsBuilder
 from .cache import DEFAULT_TTL_SECONDS, RobotsCache
+from .compiled import CompiledPolicy, CompiledRule, CompiledRuleSet
 from .diff import (
     AccessChange,
     AccessDelta,
@@ -44,6 +49,9 @@ __all__ = [
     "AccessChange",
     "AccessDecision",
     "AccessDelta",
+    "CompiledPolicy",
+    "CompiledRule",
+    "CompiledRuleSet",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_TTL_SECONDS",
     "EXEMPT_SEO_BOTS",

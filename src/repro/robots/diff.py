@@ -159,12 +159,17 @@ def diff_policies(
     agents: tuple[str, ...] | list[str] = DEFAULT_PROBE_AGENTS,
     paths: tuple[str, ...] | list[str] = DEFAULT_PROBE_PATHS,
 ) -> RobotsDiff:
-    """Diff two policies over an agent x path probe matrix."""
+    """Diff two policies over an agent x path probe matrix.
+
+    Both sides are evaluated through the compiled engine's batch
+    ``probe_matrix``, so each probe path is normalized once per policy
+    and each agent's rule set is resolved once.
+    """
     diff = RobotsDiff()
-    for agent in agents:
-        for path in paths:
-            before = old.can_fetch(agent, path)
-            after = new.can_fetch(agent, path)
+    old_matrix = old.probe_matrix(agents, paths)
+    new_matrix = new.probe_matrix(agents, paths)
+    for agent, old_row, new_row in zip(agents, old_matrix, new_matrix):
+        for path, before, after in zip(paths, old_row, new_row):
             if before and not after:
                 change = AccessChange.REVOKED
             elif not before and after:

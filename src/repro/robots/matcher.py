@@ -9,54 +9,78 @@ two metacharacters:
     at the end of a pattern, anchors the match to the end of the path.
 
 Precedence follows the RFC (and Google's reference parser): the rule
-with the **longest pattern** wins; on a tie between an Allow and a
-Disallow rule of equal length, Allow wins.  Percent-encoded octets in
-both pattern and path are normalized before comparison so that
-``/a%3Cd`` and ``/a%3cd`` compare equal while ``%2F`` (encoded slash)
-remains distinct from a literal ``/``.
+with the **most octets** wins; on a tie between an Allow and a
+Disallow rule of equal octet count, Allow wins.  Percent-encoded
+octets in both pattern and path are normalized before comparison so
+that ``/a%3Cd`` and ``/a%3cd`` compare equal while ``%2F`` (encoded
+slash) remains distinct from a literal ``/``.
+
+Normalization canonicalizes both sides to the percent-encoded ASCII
+form Google's reference parser compares: only escapes of RFC 3986
+*unreserved* ASCII characters are decoded; every other escape —
+including each byte of a multi-byte UTF-8 sequence such as
+``%C3%A9`` ("é") — stays percent-encoded, and raw non-ASCII
+characters are percent-encoded from their UTF-8 bytes so literal and
+escaped spellings of the same path compare equal.
 """
 
 from __future__ import annotations
 
 import functools
 import re
+import string
 from dataclasses import dataclass
 
 from .model import Rule, RuleType
 
-#: Characters that must stay percent-encoded to preserve path structure.
-_KEEP_ENCODED = {"/", "?", "#", "%"}
+#: RFC 3986 unreserved characters: the only escapes safe to decode
+#: without changing which octets a rule pattern matches.
+_UNRESERVED = frozenset(string.ascii_letters + string.digits + "-._~")
 
 
 def normalize_path(path: str) -> str:
     """Normalize a URI path (or rule pattern) for matching.
 
     - ensures a leading ``/`` (empty input becomes ``/``);
-    - uppercases percent-escape hex digits, decodes escapes for
-      unreserved characters, and leaves structural characters
-      (``/ ? # %``) encoded;
+    - uppercases percent-escape hex digits and decodes escapes of
+      RFC 3986 *unreserved* ASCII only — reserved/structural
+      characters (``/ ? # %`` …) and all bytes ≥ 0x80 (multi-byte
+      UTF-8 sequences) stay percent-encoded, matching Google's
+      reference parser;
+    - percent-encodes raw non-ASCII characters from their UTF-8
+      bytes, so ``/café`` and ``/caf%C3%A9`` compare equal;
     - leaves ``*`` and ``$`` untouched (they are metacharacters in
       patterns and legal literals in paths — patterns are compiled
       separately).
+
+    The result is pure ASCII, so its character count equals its octet
+    count (see :func:`pattern_specificity`).
     """
     if not path:
         return "/"
     if not path.startswith("/") and not path.startswith("*"):
         path = "/" + path
+    if "%" not in path and path.isascii():
+        return path
 
     out: list[str] = []
     i = 0
     while i < len(path):
         ch = path[i]
-        if ch == "%" and i + 2 < len(path) + 1 and _is_hex_pair(path, i + 1):
+        if ch == "%" and _is_hex_pair(path, i + 1):
             decoded = chr(int(path[i + 1 : i + 3], 16))
-            if decoded in _KEEP_ENCODED or not decoded.isprintable():
-                out.append("%" + path[i + 1 : i + 3].upper())
-            else:
+            if decoded in _UNRESERVED:
                 out.append(decoded)
+            else:
+                out.append("%" + path[i + 1 : i + 3].upper())
             i += 3
-        else:
+        elif ch.isascii():
             out.append(ch)
+            i += 1
+        else:
+            out.append(
+                "".join(f"%{byte:02X}" for byte in ch.encode("utf-8"))
+            )
             i += 1
     return "".join(out)
 
@@ -66,6 +90,21 @@ def _is_hex_pair(text: str, index: int) -> bool:
     if len(pair) != 2:
         return False
     return all(c in "0123456789abcdefABCDEF" for c in pair)
+
+
+def compile_pattern_body(body: str, anchored: bool) -> re.Pattern[str]:
+    """Compile a normalized, anchor-stripped pattern body to a regex.
+
+    The single source of the pattern-to-regex translation, shared by
+    :func:`compile_pattern` and the compiled engine
+    (:mod:`repro.robots.compiled`) so the two can never drift:
+    ``*`` becomes ``.*``, everything else is escaped, and ``anchored``
+    appends the end-of-path assertion.
+    """
+    regex = ".*".join(re.escape(piece) for piece in body.split("*"))
+    if anchored:
+        regex += "$"
+    return re.compile(regex)
 
 
 @functools.lru_cache(maxsize=4096)
@@ -80,11 +119,7 @@ def compile_pattern(pattern: str) -> re.Pattern[str]:
     anchored = normalized.endswith("$")
     if anchored:
         normalized = normalized[:-1]
-    parts = (re.escape(piece) for piece in normalized.split("*"))
-    regex = ".*".join(parts)
-    if anchored:
-        regex += "$"
-    return re.compile(regex)
+    return compile_pattern_body(normalized, anchored)
 
 
 def pattern_matches(pattern: str, path: str) -> bool:
@@ -99,12 +134,16 @@ def pattern_matches(pattern: str, path: str) -> bool:
 
 
 def pattern_specificity(pattern: str) -> int:
-    """Precedence key for a pattern: its normalized octet length.
+    """Precedence key for a pattern: its normalized length in octets.
 
     RFC 9309: "The most specific match found MUST be used.  The most
-    specific match is the match that has the most octets."
+    specific match is the match that has the most octets."  Octets,
+    not characters: a multi-byte UTF-8 pattern outweighs an ASCII one
+    of equal character count.  :func:`normalize_path` output is pure
+    ASCII (non-ASCII is percent-encoded), so encoding it merely
+    guards the invariant.
     """
-    return len(normalize_path(pattern)) if pattern else 0
+    return len(normalize_path(pattern).encode("utf-8")) if pattern else 0
 
 
 @dataclass(frozen=True)

@@ -4,13 +4,23 @@
 a parsed :class:`~repro.robots.model.RobotsFile` (or a fetch-failure
 disposition) to the two questions that matter — *may I fetch this
 path?* and *how long must I wait between fetches?*
+
+All access queries route through a lazily-built
+:class:`~repro.robots.compiled.CompiledPolicy`: groups are resolved
+and rules normalized/compiled once per user-agent token instead of on
+every call, and the batch entry points (:meth:`RobotsPolicy.can_fetch_many`,
+:meth:`RobotsPolicy.probe_matrix`) amortize path normalization across
+whole probe matrices.  See :mod:`repro.robots.compiled` for the
+engine's design notes.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from .matcher import MatchResult, evaluate_rules
+from .compiled import CompiledPolicy
+from .matcher import MatchResult
 from .model import Group, RobotsFile, Rule
 from .parser import parse
 
@@ -48,6 +58,9 @@ class RobotsPolicy:
 
     robots: RobotsFile | None = None
     _forced_allow: bool | None = field(default=None, repr=False)
+    _compiled: CompiledPolicy | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- constructors ------------------------------------------------
 
@@ -69,6 +82,20 @@ class RobotsPolicy:
     def disallow_all(cls) -> "RobotsPolicy":
         """Policy denying every path (e.g. robots.txt returned 503)."""
         return cls(robots=None, _forced_allow=False)
+
+    # -- compilation -------------------------------------------------
+
+    def compiled(self) -> CompiledPolicy:
+        """The memoizing compiled engine backing this policy.
+
+        Built on first use and cached; per-agent-token rule sets are
+        then reused across every subsequent query.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledPolicy(
+                robots=self.robots, forced_allow=self._forced_allow
+            )
+        return self._compiled
 
     # -- queries -----------------------------------------------------
 
@@ -96,17 +123,15 @@ class RobotsPolicy:
                 reason="robots.txt unavailable (server error): assume disallow",
             )
         assert self.robots is not None
-        groups = self.robots.matching_groups(user_agent)
-        if not groups:
+        ruleset, agents = self.compiled().ruleset_for(user_agent)
+        if not agents:
             return AccessDecision(
                 allowed=True,
                 matched_rule=None,
                 group_agents=(),
                 reason="no group governs this agent: default allow",
             )
-        rules = [rule for group in groups for rule in group.rules]
-        result: MatchResult = evaluate_rules(rules, path)
-        agents = tuple(agent for group in groups for agent in group.user_agents)
+        result: MatchResult = ruleset.decide(path)
         if result.rule is None:
             reason = "no rule matched: default allow"
         else:
@@ -120,8 +145,28 @@ class RobotsPolicy:
         )
 
     def can_fetch(self, user_agent: str, path: str) -> bool:
-        """Boolean access check (the common fast path)."""
-        return self.decide(user_agent, path).allowed
+        """Boolean access check (the common fast path).
+
+        Skips :class:`AccessDecision` construction entirely and hits
+        the compiled engine's memoized rule set directly.
+        """
+        return self.compiled().can_fetch(user_agent, path)
+
+    def can_fetch_many(
+        self, user_agent: str, paths: Sequence[str]
+    ) -> list[bool]:
+        """Batch access checks for one agent; aligns with ``paths``."""
+        return self.compiled().can_fetch_many(user_agent, paths)
+
+    def probe_matrix(
+        self, agents: Sequence[str], paths: Sequence[str]
+    ) -> list[list[bool]]:
+        """Verdict rows per agent over a shared probe-path set.
+
+        Row ``i`` aligns with ``agents[i]``, column ``j`` with
+        ``paths[j]``; paths are normalized once for all agents.
+        """
+        return self.compiled().probe_matrix(agents, paths)
 
     def crawl_delay(self, user_agent: str) -> float | None:
         """Crawl delay in seconds for ``user_agent``, if any is set."""
@@ -141,4 +186,5 @@ class RobotsPolicy:
 
     def allowed_paths(self, user_agent: str, paths: list[str]) -> list[str]:
         """Filter ``paths`` down to those fetchable by ``user_agent``."""
-        return [path for path in paths if self.can_fetch(user_agent, path)]
+        verdicts = self.can_fetch_many(user_agent, paths)
+        return [path for path, ok in zip(paths, verdicts) if ok]

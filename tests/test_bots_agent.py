@@ -207,3 +207,87 @@ class TestSpoofers:
     def test_paper_exceptions_respond(self):
         assert spoof_compliance_for("PerplexityBot").v2_endpoint_p > 0.5
         assert spoof_compliance_for("Bytespider").v3_robots_share > 0.5
+
+
+class TestStrictRobots:
+    def test_strict_agent_never_requests_denied_paths(self):
+        """A strict agent precomputes its denied-path set from the
+        cached policy (batch can_fetch_many) and skips those targets;
+        the default agent probes them via trap_probe_rate."""
+        scenario = quick_scenario(scale=1.0, seed=11)
+        profile_kwargs = dict(trap_probe_rate=0.3, experiment_site_share=0.0)
+
+        loose_server = make_server()
+        loose_hits = []
+        loose_server.add_hook(
+            lambda req, res: loose_hits.append(req.path)
+            if req.path.startswith("/secure/")
+            else None
+        )
+        loose = BotAgent(
+            profile=make_profile(**profile_kwargs),
+            scenario=scenario,
+            server=loose_server,
+        )
+        loose.emit_day(epoch("2025-02-12"))
+        assert loose_hits  # the calibrated agent does probe traps
+
+        # strict run: same profile, same seed, robots enforced
+        strict_server = make_server()
+        strict_hits = []
+        strict_server.add_hook(
+            lambda req, res: strict_hits.append(req.path)
+            if req.path.startswith("/secure/")
+            else None
+        )
+        strict = BotAgent(
+            profile=make_profile(**profile_kwargs),
+            scenario=scenario,
+            server=strict_server,
+            strict_robots=True,
+        )
+        strict.emit_day(epoch("2025-02-12"))
+        assert strict_hits == []
+        assert strict.requests_emitted > 0
+
+    def test_strict_agent_caches_denied_set(self):
+        scenario = quick_scenario(scale=1.0, seed=11)
+        agent = BotAgent(
+            profile=make_profile(experiment_site_share=0.0),
+            scenario=scenario,
+            server=make_server(),
+            strict_robots=True,
+        )
+        agent.emit_day(epoch("2025-02-12"))
+        states = [
+            state
+            for state in agent._robots.values()
+            if state.policy is not None
+        ]
+        assert states
+        for state in states:
+            assert state.allow_verdicts is not None
+
+    def test_strict_agent_live_checks_paths_added_after_sweep(self):
+        """Pages added after the robots fetch are not in the verdict
+        cache; the agent must fall back to a live policy check."""
+        from repro.web.site import Page
+
+        scenario = quick_scenario(scale=1.0, seed=11)
+        server = make_server()
+        agent = BotAgent(
+            profile=make_profile(experiment_site_share=0.0),
+            scenario=scenario,
+            server=server,
+            strict_robots=True,
+        )
+        agent.emit_day(epoch("2025-02-12"))
+        hostname, state = next(
+            (host, state)
+            for host, state in agent._robots.items()
+            if state.policy is not None
+        )
+        site = server.sites[hostname]
+        site.add_page(Page(path="/secure/added-later", size_bytes=10, section="secure"))
+        assert "/secure/added-later" not in (state.allow_verdicts or {})
+        assert agent._strictly_denied(site, "/secure/added-later")

@@ -11,6 +11,7 @@ from repro.deterrence.challenge import (
 from repro.deterrence.gateway import DeterrenceGateway, default_gateway
 from repro.deterrence.ratelimit import RateKey, RateLimiter, TokenBucket
 from repro.deterrence.tarpit import TARPIT_PREFIX, TarpitGenerator
+from repro.robots.policy import RobotsPolicy
 from repro.web.message import Request
 from repro.web.server import WebServer
 from repro.web.site import Page, Website
@@ -249,3 +250,37 @@ class TestGateway:
                 make_request(ip="hammer", timestamp=step * 0.01)
             )
         assert gateway.stats.deterred_fraction() > 0.5
+
+    def test_robots_policy_enforced(self):
+        policy = RobotsPolicy.from_text(
+            "User-agent: GPTBot\nDisallow: /\n\nUser-agent: *\nAllow: /\n"
+        )
+        gateway = DeterrenceGateway(server=make_server(), robots=policy)
+        denied = gateway.handle(make_request(ua="GPTBot"))
+        assert denied.status == 403
+        assert gateway.stats.robots_denied == 1
+        allowed = gateway.handle(make_request(ua="Googlebot"))
+        assert allowed.status == 200
+        # Denials count toward the deterred fraction.
+        assert gateway.stats.total == 2
+        assert gateway.stats.deterred_fraction() == 0.5
+
+    def test_robots_enforced_for_full_user_agent_headers(self):
+        """Real traffic carries full UA headers, not bare tokens; the
+        gateway must reduce them to the group token before matching."""
+        policy = RobotsPolicy.from_text(
+            "User-agent: GPTBot\nDisallow: /\n\nUser-agent: *\nAllow: /\n"
+        )
+        gateway = DeterrenceGateway(server=make_server(), robots=policy)
+        header = "Mozilla/5.0 AppleWebKit/537.36 (compatible; GPTBot/1.1)"
+        assert gateway.handle(make_request(ua=header)).status == 403
+        assert gateway.stats.robots_denied == 1
+        browser = "Mozilla/5.0 (Windows NT 10.0) Chrome/120.0"
+        assert gateway.handle(make_request(ua=browser)).status == 200
+
+    def test_robots_file_itself_stays_fetchable(self):
+        policy = RobotsPolicy.from_text("User-agent: *\nDisallow: /\n")
+        gateway = DeterrenceGateway(server=make_server(), robots=policy)
+        response = gateway.handle(make_request(path="/robots.txt"))
+        assert response.status != 403
+        assert gateway.stats.robots_denied == 0

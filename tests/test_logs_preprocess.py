@@ -94,6 +94,35 @@ class TestPreprocessor:
         kept, _ = Preprocessor(drop_scanners=False).run(records)
         assert len(kept) == 30
 
+    def test_partial_whois_map_counts_misses(self):
+        """A whois client returning a partial result map must not
+        crash the run; unresolved rows stay unenriched."""
+
+        class PartialWhois:
+            def lookup_many(self, asns):
+                from repro.asn.whois import WhoisResult
+
+                return {
+                    asn: WhoisResult(
+                        asn=asn, handle=f"AS{asn}", org_name="X", country="US"
+                    )
+                    for asn in asns
+                    if asn == 15169  # drops every other ASN
+                }
+
+        records = [record(asn=15169), record(asn=64500), record(asn=64501)]
+        kept, report = Preprocessor(whois=PartialWhois()).run(records)
+        assert len(kept) == 3
+        assert kept[0].asn_name == "AS15169"
+        assert kept[1].asn_name is None
+        assert kept[2].asn_name is None
+        assert report.whois_misses == 2
+        assert report.unique_asns == 3
+
+    def test_full_whois_map_reports_zero_misses(self):
+        _, report = Preprocessor().run([record(asn=15169)])
+        assert report.whois_misses == 0
+
 
 class TestGrouping:
     def test_known_bot_records(self):

@@ -8,6 +8,7 @@ from repro.observatory import (
     restrictiveness,
 )
 from repro.robots.corpus import RobotsVersion, render_version
+from repro.robots.diff import DEFAULT_PROBE_AGENTS
 from repro.robots.policy import RobotsPolicy
 from repro.simulation.clock import epoch
 
@@ -78,6 +79,31 @@ class TestFullyBlocked:
         assert "GPTBot" in blocked
         assert "Googlebot" not in blocked
 
+    def test_caller_supplied_paths_are_honoured(self):
+        # Only /news is closed: an agent is "fully blocked" exactly
+        # when the caller's probe set stays inside the closed area.
+        policy = RobotsPolicy.from_text(
+            "User-agent: *\nDisallow: /news/\n"
+        )
+        assert fully_blocked_agents(policy, paths=("/news/a", "/news/b")) == list(
+            DEFAULT_PROBE_AGENTS
+        )
+        assert fully_blocked_agents(policy, paths=("/news/a", "/open")) == []
+        # The default probe set reaches open paths, so nobody is
+        # fully blocked — the pre-fix body ignored ``paths`` entirely.
+        assert fully_blocked_agents(policy) == []
+
+    def test_robots_path_probe_ignored(self):
+        blocked = fully_blocked_agents(
+            RobotsPolicy.from_text(CLOSED), paths=("/robots.txt", "/a")
+        )
+        assert "GPTBot" in blocked
+
+    def test_empty_probe_set_blocks_nobody(self):
+        policy = RobotsPolicy.from_text(OPEN)
+        assert fully_blocked_agents(policy, paths=()) == []
+        assert fully_blocked_agents(policy, paths=("/robots.txt",)) == []
+
 
 class TestObservatory:
     def _loaded(self) -> RobotsObservatory:
@@ -101,6 +127,19 @@ class TestObservatory:
         assert mid is not None and mid.text == AI_BLOCKED
         assert observatory.at("s.example", epoch("2021-01-01")) is None
         assert observatory.latest("unknown") is None
+        assert observatory.at("unknown", epoch("2024-01-01")) is None
+
+    def test_at_exact_timestamp_and_long_history(self):
+        observatory = RobotsObservatory()
+        base = epoch("2024-01-01")
+        for day in range(0, 500, 2):  # snapshots at even days only
+            observatory.record("s", base + day * 86400.0, OPEN if day % 4 else CLOSED)
+        # Exact hit returns that snapshot; odd days return the
+        # preceding even-day snapshot (bisect boundary behaviour).
+        exact = observatory.at("s", base + 100 * 86400.0)
+        assert exact is not None and exact.fetched_at == base + 100 * 86400.0
+        between = observatory.at("s", base + 101 * 86400.0)
+        assert between is not None and between.fetched_at == base + 100 * 86400.0
 
     def test_restrictiveness_series_increases(self):
         series = observatory_series = self._loaded().restrictiveness_series(

@@ -1,0 +1,217 @@
+"""Equivalence and behaviour tests for the compiled policy engine.
+
+The compiled engine (:mod:`repro.robots.compiled`) must be
+*observably identical* to the legacy scan
+(:func:`repro.robots.matcher.evaluate_rules` over
+:meth:`~repro.robots.model.RobotsFile.matching_groups`): same verdict
+and same winning rule on every input.  These tests check that over
+randomized rule sets (hypothesis), every corpus fixture, and the
+batch entry points.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robots.compiled import CompiledPolicy, CompiledRule, CompiledRuleSet
+from repro.robots.corpus import (
+    EXEMPT_SEO_BOTS,
+    all_versions,
+    build_version,
+)
+from repro.robots.diff import DEFAULT_PROBE_AGENTS, DEFAULT_PROBE_PATHS
+from repro.robots.matcher import evaluate_rules
+from repro.robots.model import Rule, RuleType
+from repro.robots.policy import RobotsPolicy
+
+
+def legacy_can_fetch(policy: RobotsPolicy, agent: str, path: str) -> bool:
+    """The pre-compiled evaluation path, kept as the reference."""
+    if path.startswith("/robots.txt"):
+        return True
+    if policy._forced_allow is not None:
+        return policy._forced_allow
+    assert policy.robots is not None
+    groups = policy.robots.matching_groups(agent)
+    rules = [rule for group in groups for rule in group.rules]
+    return evaluate_rules(rules, path).allowed
+
+
+# Pattern fragments exercise wildcards, anchors, percent escapes
+# (single- and multi-byte), and raw non-ASCII.
+fragments = st.lists(
+    st.sampled_from(
+        [
+            "/a",
+            "/bb",
+            "/ccc",
+            "/page",
+            "/page-data",
+            "/news/",
+            "*",
+            "$",
+            "%61",
+            "%2F",
+            "%C3%A9",
+            "é",
+            ".html",
+            "?q=1",
+        ]
+    ),
+    min_size=1,
+    max_size=5,
+)
+patterns = fragments.map("".join)
+probe_paths = fragments.map(lambda parts: "/" + "".join(parts))
+rule_sets = st.lists(
+    st.tuples(st.sampled_from([RuleType.ALLOW, RuleType.DISALLOW]), patterns),
+    min_size=0,
+    max_size=12,
+).map(
+    lambda pairs: [
+        Rule(type=kind, path=path, line_number=i)
+        for i, (kind, path) in enumerate(pairs, start=1)
+    ]
+)
+
+
+class TestRuleSetEquivalence:
+    @given(rule_sets, probe_paths)
+    @settings(max_examples=400)
+    def test_decide_matches_legacy_scan(self, rules, path):
+        compiled = CompiledRuleSet(rules)
+        expected = evaluate_rules(rules, path)
+        actual = compiled.decide(path)
+        assert actual.allowed == expected.allowed
+        assert actual.rule is expected.rule
+
+    @given(rule_sets, st.lists(probe_paths, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_normalized_batch_matches_single(self, rules, paths):
+        compiled = CompiledRuleSet(rules)
+        for path in paths:
+            assert compiled.allows(path) == evaluate_rules(rules, path).allowed
+
+    def test_empty_rules_default_allow(self):
+        result = CompiledRuleSet([]).decide("/anything")
+        assert result.allowed
+        assert result.rule is None
+
+    def test_empty_disallow_excluded(self):
+        ruleset = CompiledRuleSet([Rule(type=RuleType.DISALLOW, path="")])
+        assert len(ruleset) == 0
+        assert ruleset.allows("/x")
+
+
+class TestSortedEarlyExit:
+    def test_rules_sorted_by_descending_octets(self):
+        ruleset = CompiledRuleSet(
+            [
+                Rule(type=RuleType.DISALLOW, path="/a"),
+                Rule(type=RuleType.DISALLOW, path="/café"),
+                Rule(type=RuleType.ALLOW, path="/abc"),
+            ]
+        )
+        specs = [compiled.specificity for compiled in ruleset.rules]
+        assert specs == sorted(specs, reverse=True)
+        assert specs[0] == 10  # "/caf%C3%A9"
+
+    def test_allow_sorts_before_disallow_on_tie(self):
+        ruleset = CompiledRuleSet(
+            [
+                Rule(type=RuleType.DISALLOW, path="/page"),
+                Rule(type=RuleType.ALLOW, path="/page"),
+            ]
+        )
+        assert ruleset.rules[0].is_allow
+        assert ruleset.decide("/page").allowed
+
+    def test_literal_fast_path_skips_regex(self):
+        literal = CompiledRule.compile(Rule(type=RuleType.DISALLOW, path="/a/b"))
+        anchored = CompiledRule.compile(Rule(type=RuleType.DISALLOW, path="/a/b$"))
+        wildcard = CompiledRule.compile(Rule(type=RuleType.DISALLOW, path="/a*/b"))
+        assert literal.regex is None
+        assert anchored.regex is None
+        assert wildcard.regex is not None
+        assert literal.matches("/a/b/c")
+        assert anchored.matches("/a/b") and not anchored.matches("/a/b/c")
+        assert wildcard.matches("/aX/b")
+
+
+class TestCorpusEquivalence:
+    def test_all_versions_all_agents_all_paths(self):
+        agents = DEFAULT_PROBE_AGENTS + EXEMPT_SEO_BOTS + ("unknown-crawler",)
+        paths = DEFAULT_PROBE_PATHS + (
+            "/robots.txt",
+            "/page-data/app.json",
+            "/secure/area-042",
+            "/dev-404-page/",
+        )
+        for version in all_versions():
+            policy = RobotsPolicy.from_robots(build_version(version))
+            for agent in agents:
+                for path in paths:
+                    assert policy.can_fetch(agent, path) == legacy_can_fetch(
+                        policy, agent, path
+                    ), (version, agent, path)
+
+    def test_forced_policies(self):
+        for policy in (RobotsPolicy.allow_all(), RobotsPolicy.disallow_all()):
+            for path in DEFAULT_PROBE_PATHS + ("/robots.txt",):
+                assert policy.can_fetch("GPTBot", path) == legacy_can_fetch(
+                    policy, "GPTBot", path
+                )
+
+
+class TestBatchApis:
+    def test_can_fetch_many_matches_single_calls(self):
+        policy = RobotsPolicy.from_robots(build_version(all_versions()[2]))
+        paths = list(DEFAULT_PROBE_PATHS) + ["/robots.txt"]
+        for agent in DEFAULT_PROBE_AGENTS:
+            batch = policy.can_fetch_many(agent, paths)
+            assert batch == [policy.can_fetch(agent, path) for path in paths]
+
+    def test_probe_matrix_matches_single_calls(self):
+        policy = RobotsPolicy.from_robots(build_version(all_versions()[3]))
+        matrix = policy.probe_matrix(DEFAULT_PROBE_AGENTS, DEFAULT_PROBE_PATHS)
+        assert len(matrix) == len(DEFAULT_PROBE_AGENTS)
+        for agent, row in zip(DEFAULT_PROBE_AGENTS, matrix):
+            assert row == [
+                policy.can_fetch(agent, path) for path in DEFAULT_PROBE_PATHS
+            ]
+
+    def test_probe_matrix_forced(self):
+        matrix = RobotsPolicy.disallow_all().probe_matrix(
+            ("A", "B"), ("/x", "/robots.txt")
+        )
+        assert matrix == [[False, True], [False, True]]
+
+    def test_allowed_paths_uses_batch(self):
+        policy = RobotsPolicy.from_text(
+            "User-agent: *\nDisallow: /private\nAllow: /\n"
+        )
+        assert policy.allowed_paths("bot", ["/a", "/private/x"]) == ["/a"]
+
+
+class TestMemoization:
+    def test_tokens_sharing_groups_share_ruleset(self):
+        # GPTBot and UnknownBot both fall through to the catch-all
+        # group of v3: the compiled rule set must be built once.
+        policy = RobotsPolicy.from_robots(build_version(all_versions()[3]))
+        compiled = policy.compiled()
+        ruleset_a, _ = compiled.ruleset_for("GPTBot")
+        ruleset_b, _ = compiled.ruleset_for("UnknownBot")
+        assert ruleset_a is ruleset_b
+
+    def test_repeat_token_hits_cache(self):
+        policy = RobotsPolicy.from_text("User-agent: *\nDisallow: /x\n")
+        compiled = policy.compiled()
+        first, _ = compiled.ruleset_for("GPTBot")
+        second, _ = compiled.ruleset_for("GPTBot")
+        assert first is second
+
+    def test_policy_compiles_lazily_and_once(self):
+        policy = RobotsPolicy.from_text("User-agent: *\nDisallow: /x\n")
+        assert policy._compiled is None
+        engine = policy.compiled()
+        policy.can_fetch("GPTBot", "/x")
+        assert policy.compiled() is engine

@@ -86,6 +86,25 @@ class TestNormalization:
     def test_bare_percent_passes_through(self):
         assert normalize_path("/100%") == "/100%"
 
+    def test_multibyte_utf8_escapes_stay_encoded(self):
+        # %C3%A9 is "é" in UTF-8; bytewise decoding would corrupt it
+        # into the two latin-1 characters "Ã©".
+        assert normalize_path("/%C3%A9") == "/%C3%A9"
+        assert normalize_path("/%c3%a9") == "/%C3%A9"
+        assert "Ã" not in normalize_path("/%c3%a9")
+
+    def test_raw_non_ascii_percent_encoded(self):
+        assert normalize_path("/café") == "/caf%C3%A9"
+
+    def test_literal_and_escaped_utf8_match(self):
+        assert pattern_matches("/café", "/caf%C3%A9")
+        assert pattern_matches("/caf%c3%a9", "/café")
+        assert pattern_matches("/caf%C3%A9", "/café/menu")
+
+    def test_reserved_ascii_escape_stays_encoded(self):
+        # "?" is not unreserved: %3F must not decode to a literal "?".
+        assert normalize_path("/a%3Fb") == "/a%3Fb"
+
 
 class TestPrecedence:
     def test_longest_match_wins(self):
@@ -142,3 +161,19 @@ class TestSpecificity:
 
     def test_specificity_counts_decoded_octets(self):
         assert pattern_specificity("/%61bc") == pattern_specificity("/abc")
+
+    def test_specificity_counts_utf8_octets_not_characters(self):
+        # "/café" is 5 characters but 10 normalized octets
+        # ("/caf%C3%A9"); character counting would report 5.
+        assert pattern_specificity("/café") == 10
+        assert pattern_specificity("/caf%C3%A9") == 10
+        assert pattern_specificity("/café") > pattern_specificity("/cafes")
+
+    def test_multibyte_pattern_beats_shorter_ascii_in_octets(self):
+        # "/caf*" (5 octets) would tie "/café" under character
+        # counting; under octet counting the multi-byte Disallow (10
+        # octets) is more specific and must win.
+        rules = [allow("/caf*"), disallow("/café")]
+        assert not evaluate_rules(rules, "/café/menu").allowed
+        # The shorter allow still governs paths the long rule misses.
+        assert evaluate_rules(rules, "/caffeine").allowed
