@@ -13,6 +13,8 @@ The package provides, as importable layers:
 - :mod:`repro.simulation` — the study simulator producing access logs;
 - :mod:`repro.logs` — log schema, IO, preprocessing, sessionization;
 - :mod:`repro.analysis` — the paper's compliance metrics and tests;
+- :mod:`repro.pipeline` — the sharded, streaming analysis pipeline
+  (Stage/Pipeline contract, site-sharded executor, record sources);
 - :mod:`repro.reporting` — per-table/figure experiment drivers.
 
 Quickstart::

@@ -23,13 +23,13 @@ import sys
 from pathlib import Path
 
 from . import __version__
-from .logs.io import read_jsonl, write_csv, write_jsonl
+from .logs.io import read_clf, read_csv, read_jsonl, write_csv, write_jsonl
 from .reporting.experiments import EXPERIMENTS, run_all, run_experiment
 from .reporting.study import StudyAnalysis
 from .robots.corpus import all_versions, render_version
 from .robots.policy import RobotsPolicy
 from .robots.validator import validate
-from .simulation.engine import StudyDataset, run_study
+from .simulation.engine import run_study
 from .simulation.scenario import default_scenario
 
 
@@ -57,8 +57,34 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--no-spoofing", action="store_true")
 
     analyze = commands.add_parser("analyze", help="analyze a simulated log")
-    analyze.add_argument("log", type=Path, help="JSONL log from 'simulate'")
+    analyze.add_argument("log", type=Path, help="log file from 'simulate' (or real)")
     analyze.add_argument("--seed", type=int, default=2025)
+    analyze.add_argument(
+        "--format",
+        choices=("jsonl", "csv", "clf"),
+        default="jsonl",
+        help="log format: pipeline-native jsonl/csv, or Apache combined (clf)",
+    )
+    analyze.add_argument(
+        "--site",
+        default="",
+        help="sitename stamped on CLF records (CLF has no Host column)",
+    )
+    analyze.add_argument(
+        "--asn", type=int, default=0, help="ASN stamped on CLF records"
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard preprocessing across N worker processes",
+    )
+    analyze.add_argument(
+        "--shard-by",
+        choices=("site", "ip"),
+        default="site",
+        help="hash-partition key for sharded analysis",
+    )
     analyze.add_argument(
         "--experiments",
         nargs="*",
@@ -70,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report", help="simulate + analyze + print")
     report.add_argument("--scale", type=float, default=0.05)
     report.add_argument("--seed", type=int, default=2025)
+    report.add_argument("--jobs", type=int, default=1)
+    report.add_argument(
+        "--shard-by", choices=("site", "ip"), default="site"
+    )
     report.add_argument("--experiments", nargs="*", default=None, metavar="ID")
 
     robots = commands.add_parser("robots", help="inspect a robots.txt file")
@@ -124,13 +154,28 @@ def _print_experiments(analysis: StudyAnalysis, wanted: list[str] | None) -> int
     return 0
 
 
+def _record_reader(args: argparse.Namespace):
+    """A replayable record-stream factory for the chosen log format."""
+    if args.format == "csv":
+        return lambda: read_csv(args.log)
+    if args.format == "clf":
+        return lambda: read_clf(args.log, sitename=args.site, asn=args.asn)
+    return lambda: read_jsonl(args.log)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    records = list(read_jsonl(args.log))
-    dataset = StudyDataset(
-        records=records, scenario=default_scenario(seed=args.seed)
+    analysis = StudyAnalysis.from_source(
+        _record_reader(args),
+        scenario=default_scenario(seed=args.seed),
+        jobs=args.jobs,
+        shard_by=args.shard_by,
     )
-    print(f"loaded {len(records):,} records from {args.log}", file=sys.stderr)
-    return _print_experiments(StudyAnalysis(dataset), args.experiments)
+    print(
+        f"loaded {analysis.preprocess_report.input_records:,} records "
+        f"from {args.log}",
+        file=sys.stderr,
+    )
+    return _print_experiments(analysis, args.experiments)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -139,7 +184,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"simulated {len(dataset.records):,} records at scale {args.scale}",
         file=sys.stderr,
     )
-    return _print_experiments(StudyAnalysis(dataset), args.experiments)
+    analysis = StudyAnalysis(
+        dataset, jobs=args.jobs, shard_by=args.shard_by
+    )
+    return _print_experiments(analysis, args.experiments)
 
 
 def _cmd_robots(args: argparse.Namespace) -> int:

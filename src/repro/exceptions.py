@@ -51,6 +51,12 @@ class AnalysisError(ReproError):
     """An analysis routine received data it cannot work with."""
 
 
+class PipelineError(ReproError):
+    """A pipeline definition is invalid (duplicate stage names,
+    unknown dependencies, dependency cycles) or a requested artifact
+    does not exist."""
+
+
 class UnknownBotError(ReproError):
     """A bot name was requested that the profile registry does not know."""
 

@@ -53,20 +53,44 @@ def looks_like_probe(path: str) -> bool:
     return any(marker in lowered for marker in SCANNER_PATH_MARKERS)
 
 
-def find_scanner_ips(records: Iterable[LogRecord]) -> set[str]:
-    """IP hashes whose traffic is predominantly vulnerability probing."""
+def scanner_stats(
+    records: Iterable[LogRecord],
+) -> tuple[int, Counter[str], Counter[str]]:
+    """One streaming pass of per-IP scanner evidence.
+
+    Returns ``(records_seen, totals, probes)``.  The counters are
+    mergeable across shards (plain ``Counter`` addition), which is what
+    lets the sharded pipeline screen scanners *globally* — an IP's
+    traffic may span sites, so per-shard thresholds would diverge from
+    the sequential result.
+    """
     totals: Counter[str] = Counter()
     probes: Counter[str] = Counter()
+    seen = 0
     for record in records:
+        seen += 1
         totals[record.ip_hash] += 1
         if looks_like_probe(record.uri_path):
             probes[record.ip_hash] += 1
+    return seen, totals, probes
+
+
+def scanner_ips_from_stats(
+    totals: Counter[str], probes: Counter[str]
+) -> set[str]:
+    """Apply the scanner thresholds to (possibly merged) counters."""
     return {
         ip
         for ip, total in totals.items()
         if total >= SCANNER_MIN_ACCESSES
         and probes[ip] / total >= SCANNER_PATH_FRACTION
     }
+
+
+def find_scanner_ips(records: Iterable[LogRecord]) -> set[str]:
+    """IP hashes whose traffic is predominantly vulnerability probing."""
+    _, totals, probes = scanner_stats(records)
+    return scanner_ips_from_stats(totals, probes)
 
 
 @dataclass
@@ -112,6 +136,10 @@ class Preprocessor:
         self._drop_scanners = drop_scanners
         self._ua_cache: dict[str, tuple[str | None, BotCategory | None]] = {}
 
+    @property
+    def drop_scanners(self) -> bool:
+        return self._drop_scanners
+
     def run(
         self, records: list[LogRecord]
     ) -> tuple[list[LogRecord], PreprocessReport]:
@@ -119,13 +147,32 @@ class Preprocessor:
 
         Returns the surviving records and a :class:`PreprocessReport`.
         """
-        report = PreprocessReport(input_records=len(records))
-        if self._drop_scanners:
-            report.scanner_ips = find_scanner_ips(records)
+        scanner_ips = (
+            find_scanner_ips(records) if self._drop_scanners else set()
+        )
+        return self.enrich_filtered(records, scanner_ips, len(records))
+
+    def enrich_filtered(
+        self,
+        records: Iterable[LogRecord],
+        scanner_ips: set[str],
+        input_records: int | None = None,
+    ) -> tuple[list[LogRecord], PreprocessReport]:
+        """The enrichment half of :meth:`run`: one streaming pass.
+
+        Callers that computed ``scanner_ips`` from a prior streaming
+        pass (or a shard merge) feed records here without ever holding
+        the raw corpus in memory; only the surviving records are
+        retained.  ``input_records`` is counted during iteration when
+        not supplied.
+        """
+        report = PreprocessReport(scanner_ips=scanner_ips)
+        seen = 0
         kept: list[LogRecord] = []
         asns: set[int] = set()
         for record in records:
-            if record.ip_hash in report.scanner_ips:
+            seen += 1
+            if record.ip_hash in scanner_ips:
                 report.scanner_records += 1
                 continue
             self._enrich(record)
@@ -141,7 +188,12 @@ class Preprocessor:
             else:
                 record.asn_name = result.handle
         report.unique_asns = len(asns)
+        report.input_records = seen if input_records is None else input_records
         return kept, report
+
+    def enrich(self, record: LogRecord) -> None:
+        """Public single-record enrichment (bot name + category)."""
+        self._enrich(record)
 
     def _enrich(self, record: LogRecord) -> None:
         cached = self._ua_cache.get(record.useragent)
@@ -153,6 +205,121 @@ class Preprocessor:
                 cached = (bot.name, bot.category)
             self._ua_cache[record.useragent] = cached
         record.bot_name, record.bot_category = cached
+
+
+# -- sharded map/reduce ------------------------------------------------
+#
+# The pipeline's site-sharded executor splits preprocessing into a
+# per-shard map (`preprocess_shard`, safe to run in worker processes)
+# and a global reduce (`merge_preprocess_shards`).  The reduce applies
+# the scanner thresholds to *merged* counters and restores the original
+# stream order, so the sharded result is byte-identical to
+# `Preprocessor.run` over the unsharded stream.
+
+
+@dataclass
+class ShardPreprocess:
+    """Per-shard output of the preprocessing map step.
+
+    Attributes:
+        records: the shard's records, enriched in place (bot name,
+            category, ASN handle) but *not* scanner-filtered — the
+            scanner verdict needs global counters.
+        input_records: rows in this shard.
+        totals: per-IP access counts (mergeable).
+        probes: per-IP probe-looking access counts (mergeable).
+        resolved_asns: ASNs the whois client returned a result for.
+    """
+
+    records: list[LogRecord]
+    input_records: int
+    totals: Counter[str]
+    probes: Counter[str]
+    resolved_asns: set[int]
+
+
+def preprocess_shard(
+    records: list[LogRecord], drop_scanners: bool = True
+) -> ShardPreprocess:
+    """Map step: enrich one shard and gather mergeable statistics.
+
+    Module-level and argument-picklable, so the sharded executor can
+    run it in worker processes; each worker builds its own default
+    registry and whois client (both deterministic, so enrichment is
+    identical no matter which worker handles a record).
+    """
+    preprocessor = Preprocessor()
+    if drop_scanners:
+        _, totals, probes = scanner_stats(records)
+    else:
+        totals, probes = Counter(), Counter()
+    asns: set[int] = set()
+    for record in records:
+        preprocessor.enrich(record)
+        asns.add(record.asn)
+    whois_results = preprocessor._whois.lookup_many(asns)
+    for record in records:
+        result = whois_results.get(record.asn)
+        if result is not None:
+            record.asn_name = result.handle
+    return ShardPreprocess(
+        records=records,
+        input_records=len(records),
+        totals=totals,
+        probes=probes,
+        resolved_asns=set(whois_results),
+    )
+
+
+def merge_preprocess_shards(
+    parts: list[ShardPreprocess],
+    positions: list[list[int]],
+    drop_scanners: bool = True,
+) -> tuple[list[LogRecord], PreprocessReport]:
+    """Reduce step: merge shard outputs into the global result.
+
+    Args:
+        parts: map outputs, ordered by shard index.
+        positions: each shard's original stream positions (parallel to
+            its records), used to restore global record order.
+        drop_scanners: apply the scanner screen (matching the
+            sequential ``Preprocessor`` configuration).
+    """
+    totals: Counter[str] = Counter()
+    probes: Counter[str] = Counter()
+    resolved: set[int] = set()
+    total_records = 0
+    for part in parts:
+        totals.update(part.totals)
+        probes.update(part.probes)
+        resolved |= part.resolved_asns
+        total_records += part.input_records
+    scanner_ips = (
+        scanner_ips_from_stats(totals, probes) if drop_scanners else set()
+    )
+    # Lazy import: repro.pipeline imports this module at load time.
+    from ..pipeline.shard import restore_order
+
+    merged = restore_order(
+        [part.records for part in parts], positions, total_records
+    )
+    report = PreprocessReport(
+        input_records=total_records, scanner_ips=scanner_ips
+    )
+    kept: list[LogRecord] = []
+    asns: set[int] = set()
+    for record in merged:
+        if record.ip_hash in scanner_ips:
+            report.scanner_records += 1
+            continue
+        if record.bot_name is not None:
+            report.identified_bots += 1
+        asns.add(record.asn)
+        if record.asn not in resolved:
+            report.whois_misses += 1
+        kept.append(record)
+    report.unique_asns = len(asns)
+    return kept, report
 
 
 def known_bot_records(records: Iterable[LogRecord]) -> list[LogRecord]:

@@ -27,6 +27,7 @@ rather than O(snapshots × probes × rules) re-normalizations.
 from __future__ import annotations
 
 import bisect
+import functools
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -184,6 +185,68 @@ class RobotsObservatory:
             for snapshot in self._snapshots.get(site, [])
         ]
 
+    # -- multi-site batch entry points (pipeline shard executor) ---------
+
+    def batch_restrictiveness_series(
+        self,
+        sites: list[str] | None = None,
+        agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS,
+        jobs: int = 1,
+        executor: str = "process",
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Restrictiveness series for many sites at once.
+
+        Multi-site corpora are embarrassingly parallel: each site's
+        snapshots parse, compile and probe independently, and the
+        (site, text) payloads are tiny relative to the per-snapshot
+        evaluation work.  With ``jobs > 1`` the sites are chunked onto
+        the pipeline shard executor (worker processes by default);
+        results are identical to calling
+        :meth:`restrictiveness_series` per site and keep the input
+        site order.
+        """
+        from .pipeline.shard import chunk_evenly, run_sharded
+
+        chosen = list(sites) if sites is not None else self.sites()
+        if jobs <= 1 or len(chosen) <= 1:
+            return {
+                site: self.restrictiveness_series(site, agents=agents)
+                for site in chosen
+            }
+        payloads = chunk_evenly(
+            [
+                (
+                    site,
+                    [
+                        (snapshot.fetched_at, snapshot.text)
+                        for snapshot in self._snapshots.get(site, [])
+                    ],
+                )
+                for site in chosen
+            ],
+            jobs,
+        )
+        worker = functools.partial(_series_batch_worker, agents=tuple(agents))
+        outputs = run_sharded(worker, payloads, jobs=jobs, executor=executor)
+        return {
+            site: series for chunk in outputs for site, series in chunk
+        }
+
+    def batch_tightening_slopes(
+        self,
+        sites: list[str] | None = None,
+        jobs: int = 1,
+        executor: str = "process",
+    ) -> dict[str, float]:
+        """Tightening slope per site, batched on the shard executor."""
+        series_by_site = self.batch_restrictiveness_series(
+            sites=sites, jobs=jobs, executor=executor
+        )
+        return {
+            site: _least_squares_slope(series)
+            for site, series in series_by_site.items()
+        }
+
     def ai_series(self, site: str) -> list[tuple[float, float]]:
         """(time, AI restriction index) per snapshot."""
         return [
@@ -210,22 +273,49 @@ class RobotsObservatory:
         "consent in crisis" trend.  Time unit: fraction per year.
         Returns 0.0 with fewer than two snapshots.
         """
-        series = self.restrictiveness_series(site)
-        if len(series) < 2:
-            return 0.0
-        year = 365.25 * 86_400.0
-        times = [when / year for when, _ in series]
-        values = [value for _, value in series]
-        n = len(series)
-        mean_t = sum(times) / n
-        mean_v = sum(values) / n
-        denominator = sum((t - mean_t) ** 2 for t in times)
-        if denominator == 0:
-            return 0.0
-        numerator = sum(
-            (t - mean_t) * (v - mean_v) for t, v in zip(times, values)
-        )
-        return numerator / denominator
+        return _least_squares_slope(self.restrictiveness_series(site))
 
     def is_tightening(self, site: str) -> bool:
         return self.tightening_slope(site) > 0.0
+
+
+def _least_squares_slope(series: list[tuple[float, float]]) -> float:
+    """Slope of (epoch seconds, value) points, in fraction per year."""
+    if len(series) < 2:
+        return 0.0
+    year = 365.25 * 86_400.0
+    times = [when / year for when, _ in series]
+    values = [value for _, value in series]
+    n = len(series)
+    mean_t = sum(times) / n
+    mean_v = sum(values) / n
+    denominator = sum((t - mean_t) ** 2 for t in times)
+    if denominator == 0:
+        return 0.0
+    numerator = sum(
+        (t - mean_t) * (v - mean_v) for t, v in zip(times, values)
+    )
+    return numerator / denominator
+
+
+def _series_batch_worker(
+    payload: list[tuple[str, list[tuple[float, str]]]],
+    agents: tuple[str, ...],
+) -> list[tuple[str, list[tuple[float, float]]]]:
+    """Shard worker: restrictiveness series for a chunk of sites.
+
+    Module-level (picklable) so the process executor can ship it; each
+    worker parses and compiles its own policies, which is exactly the
+    per-snapshot work the batch parallelizes.
+    """
+    out: list[tuple[str, list[tuple[float, float]]]] = []
+    for site, snapshots in payload:
+        series = [
+            (
+                fetched_at,
+                restrictiveness(RobotsPolicy.from_text(text), agents=agents),
+            )
+            for fetched_at, text in snapshots
+        ]
+        out.append((site, series))
+    return out

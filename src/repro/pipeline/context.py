@@ -1,0 +1,168 @@
+"""Pipeline execution context: configuration, record source, artifacts.
+
+Three small objects shared by every stage of a pipeline run:
+
+:class:`PipelineConfig`
+    How to execute — worker count (``jobs``), the shard key
+    (``shard_by``: ``site`` partitions by ``sitename``, ``ip`` by
+    ``ip_hash``), and the shard executor backend (``process`` for true
+    parallelism, ``thread`` for GIL-bound concurrency, ``inline`` for
+    deterministic in-process debugging).
+
+:class:`RecordSource`
+    Streaming ingestion with a *single bounded spill*.  Wraps a record
+    factory (``lambda: read_jsonl(path)``), an in-memory list, or a
+    one-shot iterable; stages consume it via :meth:`stream` and only
+    stages that genuinely need multiple passes force :meth:`materialize`.
+    A replayable factory source is streamed from disk on every pass and
+    never spilled, so ``analyze --format jsonl`` no longer
+    double-materializes the corpus (once in the CLI, once in the
+    facade) the way the pre-pipeline code did.
+
+:class:`PipelineContext`
+    The artifact store stages read from and the runner writes to, plus
+    free-form ``params`` (e.g. the study scenario).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+
+from ..exceptions import PipelineError
+from ..logs.schema import LogRecord
+
+#: Valid shard-key names (see :mod:`repro.pipeline.shard`).
+SHARD_BY_CHOICES: tuple[str, ...] = ("site", "ip")
+
+#: Valid shard executor backends.
+EXECUTOR_CHOICES: tuple[str, ...] = ("process", "thread", "inline")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Execution knobs for one pipeline run.
+
+    Attributes:
+        jobs: shard/worker count; ``1`` means fully sequential (the
+            facade default, byte-identical to the legacy code path).
+        shard_by: record attribute that keys the hash partition.
+        executor: backend that runs per-shard stage work.
+        drop_scanners: propagated to preprocessing (screen out
+            vulnerability-scanner IP hashes, the paper's §3.1 step).
+    """
+
+    jobs: int = 1
+    shard_by: str = "site"
+    executor: str = "process"
+    drop_scanners: bool = True
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise PipelineError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shard_by not in SHARD_BY_CHOICES:
+            raise PipelineError(
+                f"shard_by must be one of {SHARD_BY_CHOICES}, got {self.shard_by!r}"
+            )
+        if self.executor not in EXECUTOR_CHOICES:
+            raise PipelineError(
+                f"executor must be one of {EXECUTOR_CHOICES}, got {self.executor!r}"
+            )
+
+
+class RecordSource:
+    """A log-record source stages can stream from more than once.
+
+    Construct via :meth:`of`, which accepts:
+
+    - another :class:`RecordSource` (returned unchanged);
+    - a ``list`` of records (reused as-is, zero copies);
+    - a zero-argument callable returning an iterable (replayable:
+      every :meth:`stream` call re-invokes it, nothing is spilled);
+    - any other iterable (consumed once into the spill immediately,
+      since a bare iterator cannot be replayed).
+    """
+
+    __slots__ = ("_factory", "_spill")
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[LogRecord]] | None = None,
+        records: list[LogRecord] | None = None,
+    ) -> None:
+        if (factory is None) == (records is None):
+            raise PipelineError(
+                "RecordSource needs exactly one of factory or records"
+            )
+        self._factory = factory
+        self._spill = records
+
+    @classmethod
+    def of(
+        cls,
+        source: "RecordSource | list[LogRecord] | Callable[[], Iterable[LogRecord]] | Iterable[LogRecord]",
+    ) -> "RecordSource":
+        if isinstance(source, RecordSource):
+            return source
+        if isinstance(source, list):
+            return cls(records=source)
+        if callable(source):
+            return cls(factory=source)
+        return cls(records=list(source))
+
+    @property
+    def replayable(self) -> bool:
+        """True when streaming passes do not require a spill."""
+        return self._factory is not None
+
+    def stream(self) -> Iterator[LogRecord]:
+        """One full pass over the records.
+
+        Factory sources re-run the factory (true streaming); spilled
+        sources iterate the in-memory list.
+        """
+        if self._spill is not None:
+            return iter(self._spill)
+        assert self._factory is not None
+        return iter(self._factory())
+
+    def materialize(self) -> list[LogRecord]:
+        """The records as a list — the single bounded spill.
+
+        Called only by stages that genuinely need random access or
+        multiple in-memory passes; the result is cached so the spill
+        happens at most once per source.
+        """
+        if self._spill is None:
+            assert self._factory is not None
+            self._spill = list(self._factory())
+        return self._spill
+
+
+@dataclass
+class PipelineContext:
+    """State shared by the stages of one pipeline run.
+
+    Attributes:
+        config: execution knobs (read-only to stages).
+        source: the record source feeding ingestion stages (may be
+            ``None`` for pipelines that do not consume logs).
+        params: free-form inputs (e.g. ``params["scenario"]``).
+        artifacts: memoized stage outputs, keyed by stage name.  Written
+            by the runner; stages read dependencies via :meth:`artifact`.
+    """
+
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    source: RecordSource | None = None
+    params: dict[str, object] = field(default_factory=dict)
+    artifacts: dict[str, object] = field(default_factory=dict)
+
+    def artifact(self, name: str) -> object:
+        """A previously computed stage artifact (raises if absent)."""
+        try:
+            return self.artifacts[name]
+        except KeyError:
+            raise PipelineError(
+                f"artifact {name!r} has not been computed; declare it as a "
+                "dependency of the requesting stage"
+            ) from None

@@ -1,0 +1,195 @@
+"""The Pipeline runner: topological ordering, memoization, concurrency.
+
+:class:`Pipeline` owns a set of stages and a
+:class:`~repro.pipeline.context.PipelineContext`.  Construction
+validates the graph (unique names, known dependencies, no cycles) and
+fixes a deterministic topological order.  Execution is demand-driven
+and memoized:
+
+- :meth:`get` computes one artifact (and its transitive dependencies)
+  and caches it in the context — repeated calls return the identical
+  object, which is what lets the ``StudyAnalysis`` facade keep its
+  historical ``cached_property`` semantics.
+- :meth:`run` computes many artifacts; with ``config.jobs > 1`` it
+  schedules independent stages concurrently on a thread pool (each
+  stage may itself fan out shard work onto processes via
+  :class:`~repro.pipeline.stage.ShardStage`).
+
+Memoization is single-flight: concurrent requests for one artifact
+block on a shared future instead of duplicating work, so the same
+pipeline instance is safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+
+from ..exceptions import PipelineError
+from .context import PipelineContext
+from .stage import Stage
+
+
+class Pipeline:
+    """A validated DAG of stages with memoized, concurrent execution."""
+
+    def __init__(
+        self,
+        stages: Iterable[Stage],
+        context: PipelineContext | None = None,
+    ) -> None:
+        self.context = context if context is not None else PipelineContext()
+        self._stages: dict[str, Stage] = {}
+        for item in stages:
+            if item.name in self._stages:
+                raise PipelineError(f"duplicate stage name {item.name!r}")
+            self._stages[item.name] = item
+        self._validate()
+        self._lock = threading.Lock()
+        self._futures: dict[str, Future] = {}
+
+    # -- graph bookkeeping -------------------------------------------
+
+    def _validate(self) -> None:
+        for item in self._stages.values():
+            for dep in item.deps:
+                if dep not in self._stages:
+                    raise PipelineError(
+                        f"stage {item.name!r} depends on unknown stage {dep!r}"
+                    )
+        self.order = self._topological_order()
+
+    def _topological_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm; raises on cycles.  Ties resolve in
+        declaration order, so the sequence is deterministic."""
+        indegree = {name: len(s.deps) for name, s in self._stages.items()}
+        dependents: dict[str, list[str]] = {name: [] for name in self._stages}
+        for name, item in self._stages.items():
+            for dep in item.deps:
+                dependents[dep].append(name)
+        ready = [name for name in self._stages if indegree[name] == 0]
+        ordered: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            ordered.append(name)
+            for child in dependents[name]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(ordered) != len(self._stages):
+            cyclic = sorted(set(self._stages) - set(ordered))
+            raise PipelineError(f"dependency cycle among stages: {cyclic}")
+        return tuple(ordered)
+
+    def stages(self) -> tuple[str, ...]:
+        """All stage names in topological order."""
+        return self.order
+
+    def _closure(self, targets: Sequence[str]) -> set[str]:
+        needed: set[str] = set()
+        frontier = list(targets)
+        while frontier:
+            name = frontier.pop()
+            if name in needed:
+                continue
+            if name not in self._stages:
+                raise PipelineError(f"unknown stage {name!r}")
+            needed.add(name)
+            frontier.extend(self._stages[name].deps)
+        return needed
+
+    # -- execution ----------------------------------------------------
+
+    def seed(self, name: str, value: object) -> None:
+        """Inject a precomputed artifact (e.g. preprocessed records),
+        so the stage never runs."""
+        if name not in self._stages:
+            raise PipelineError(f"unknown stage {name!r}")
+        with self._lock:
+            future: Future = Future()
+            future.set_result(value)
+            self._futures[name] = future
+            self.context.artifacts[name] = value
+
+    def get(self, name: str) -> object:
+        """Compute (or fetch) one artifact, resolving dependencies.
+
+        Thread-safe and single-flight: the first caller computes, any
+        concurrent caller blocks on the same future.
+        """
+        if name not in self._stages:
+            raise PipelineError(f"unknown stage {name!r}")
+        with self._lock:
+            future = self._futures.get(name)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._futures[name] = future
+        if not owner:
+            return future.result()
+        try:
+            item = self._stages[name]
+            for dep in item.deps:
+                self.get(dep)
+            value = item.run(self.context)
+        except BaseException as exc:
+            with self._lock:
+                # Drop the future so a later call can retry; park the
+                # error on it first for any concurrent waiters.
+                self._futures.pop(name, None)
+            future.set_exception(exc)
+            raise
+        self.context.artifacts[name] = value
+        future.set_result(value)
+        return value
+
+    def run(self, targets: Sequence[str] | None = None) -> dict[str, object]:
+        """Compute ``targets`` (default: every stage) and return them.
+
+        With ``config.jobs > 1``, independent stages execute
+        concurrently on a thread pool; otherwise stages run
+        sequentially in topological order.
+        """
+        wanted = tuple(targets) if targets is not None else self.order
+        needed = self._closure(wanted)
+        plan = [name for name in self.order if name in needed]
+        if self.context.config.jobs <= 1:
+            for name in plan:
+                self.get(name)
+            return {name: self.context.artifacts[name] for name in wanted}
+
+        remaining = {
+            name: {
+                dep
+                for dep in self._stages[name].deps
+                if dep not in self.context.artifacts
+            }
+            for name in plan
+        }
+        dependents: dict[str, list[str]] = {name: [] for name in plan}
+        for name in plan:
+            for dep in self._stages[name].deps:
+                dependents[dep].append(name)
+        with ThreadPoolExecutor(
+            max_workers=min(self.context.config.jobs, max(1, len(plan)))
+        ) as pool:
+            inflight: dict[Future, str] = {}
+
+            def submit_ready() -> None:
+                for name in list(remaining):
+                    if not remaining[name]:
+                        del remaining[name]
+                        inflight[pool.submit(self.get, name)] = name
+
+            submit_ready()
+            while inflight:
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = inflight.pop(future)
+                    future.result()  # re-raise stage errors
+                    for child in dependents[name]:
+                        if child in remaining:
+                            remaining[child].discard(name)
+                submit_ready()
+        return {name: self.context.artifacts[name] for name in wanted}

@@ -1,0 +1,168 @@
+"""Deterministic hash sharding and the parallel shard executor.
+
+Partitioning uses ``zlib.crc32`` over the shard key rather than
+Python's builtin ``hash`` — ``hash(str)`` is salted per process
+(``PYTHONHASHSEED``), which would assign records to different shards
+in every worker and break the sharded == sequential parity guarantee.
+crc32 is stable across processes, platforms and Python versions.
+
+Within a shard, records keep their arrival order and remember their
+original stream positions, so a merge can stitch shard outputs back
+into the exact global order the sequential pipeline sees.  That
+order-restoring merge is what makes the parity guarantee *byte*
+identical instead of merely equivalent-up-to-reordering.
+
+:func:`run_sharded` executes one worker callable per shard payload on
+the configured backend:
+
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` (fork context
+    where available) — true parallelism for the CPU-bound enrichment
+    and policy-evaluation work.  Workers must be picklable
+    (module-level functions or :func:`functools.partial` of one).
+``thread``
+    A thread pool — cheap to spin up, shares record objects, used by
+    property tests and IO-bound workers.
+``inline``
+    A plain loop in the calling thread — deterministic debugging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+from ..exceptions import PipelineError
+from ..logs.schema import LogRecord
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def site_key(record: LogRecord) -> str:
+    """Shard key: the site the record belongs to (``shard_by="site"``)."""
+    return record.sitename
+
+
+def ip_key(record: LogRecord) -> str:
+    """Shard key: the visitor IP hash (``shard_by="ip"``)."""
+    return record.ip_hash
+
+
+SHARD_KEYS: dict[str, Callable[[LogRecord], str]] = {
+    "site": site_key,
+    "ip": ip_key,
+}
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Deterministic shard assignment for one key value."""
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+@dataclass
+class Shard:
+    """One hash partition of a record stream.
+
+    Attributes:
+        index: this shard's position in the partition.
+        records: the shard's records, in stream order.
+        positions: each record's position in the original stream,
+            parallel to ``records`` — the merge key that restores
+            global order.
+    """
+
+    index: int
+    records: list[LogRecord] = field(default_factory=list)
+    positions: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def partition_records(
+    stream: Iterable[LogRecord], shards: int, shard_by: str = "site"
+) -> list[Shard]:
+    """Partition a record stream into ``shards`` deterministic shards.
+
+    Consumes ``stream`` exactly once.  Records with the same shard key
+    always land in the same shard, and every shard preserves the
+    relative order of its records.
+    """
+    if shards < 1:
+        raise PipelineError(f"shard count must be >= 1, got {shards}")
+    try:
+        key = SHARD_KEYS[shard_by]
+    except KeyError:
+        raise PipelineError(
+            f"unknown shard key {shard_by!r}; choose from {sorted(SHARD_KEYS)}"
+        ) from None
+    parts = [Shard(index=i) for i in range(shards)]
+    for position, record in enumerate(stream):
+        shard = parts[shard_index(key(record), shards)]
+        shard.records.append(record)
+        shard.positions.append(position)
+    return parts
+
+
+def restore_order(
+    outputs: Sequence[Sequence[LogRecord]],
+    positions: Sequence[Sequence[int]],
+    total: int,
+) -> list[LogRecord]:
+    """Stitch per-shard record lists back into original stream order."""
+    merged: list[LogRecord | None] = [None] * total
+    for records, where in zip(outputs, positions):
+        for position, record in zip(where, records):
+            merged[position] = record
+    return [record for record in merged if record is not None]
+
+
+def chunk_evenly(items: Sequence[_P], parts: int) -> list[list[_P]]:
+    """Split ``items`` into at most ``parts`` contiguous, order-preserving
+    chunks (for payloads that are per-site batches rather than records)."""
+    parts = max(1, min(parts, len(items)))
+    size, remainder = divmod(len(items), parts)
+    chunks: list[list[_P]] = []
+    start = 0
+    for i in range(parts):
+        end = start + size + (1 if i < remainder else 0)
+        chunks.append(list(items[start:end]))
+        start = end
+    return chunks
+
+
+def _process_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sharded(
+    worker: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    jobs: int = 1,
+    executor: str = "process",
+) -> list[_R]:
+    """Run ``worker`` over each payload, results aligned with inputs.
+
+    ``jobs <= 1``, a single payload, or ``executor="inline"`` all
+    degrade to a plain loop — no pool, no pickling, no threads.
+    """
+    if jobs <= 1 or len(payloads) <= 1 or executor == "inline":
+        return [worker(payload) for payload in payloads]
+    workers = min(jobs, len(payloads))
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, payloads))
+    if executor != "process":
+        raise PipelineError(f"unknown executor {executor!r}")
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_process_context()
+    ) as pool:
+        return list(pool.map(worker, payloads))

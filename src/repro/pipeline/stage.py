@@ -1,0 +1,114 @@
+"""The Stage contract: named units of work with declared dependencies.
+
+A stage is anything with three members:
+
+``name``
+    Unique identifier; doubles as the artifact key in the
+    :class:`~repro.pipeline.context.PipelineContext`.
+``deps``
+    Names of stages whose artifacts must exist before ``run`` is
+    called.  The runner topologically orders stages from these
+    declarations and executes independent stages concurrently.
+``run(context)``
+    Compute and return this stage's artifact.  Stages read their
+    inputs via ``context.artifact(dep)`` and must not mutate other
+    stages' artifacts.
+
+Two concrete implementations cover almost every need:
+
+:class:`FunctionStage`
+    Wraps a plain callable — the workhorse for slicing and analysis
+    stages that run in the coordinating process.
+
+:class:`ShardStage`
+    The map/reduce shape: a picklable ``worker`` runs once per record
+    shard on the configured executor (processes by default), then an
+    explicit ``merge`` hook reduces the per-shard artifacts into one
+    global artifact.  The shard partition itself is an upstream stage
+    artifact (``shards_artifact``), so several shard stages can share
+    one partition pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from .context import PipelineContext
+from .shard import Shard, run_sharded
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """Structural protocol every pipeline stage satisfies."""
+
+    name: str
+    deps: tuple[str, ...]
+
+    def run(self, context: PipelineContext) -> object: ...
+
+
+@dataclass(frozen=True)
+class FunctionStage:
+    """A stage defined by a plain function of the context."""
+
+    name: str
+    fn: Callable[[PipelineContext], object]
+    deps: tuple[str, ...] = ()
+
+    def run(self, context: PipelineContext) -> object:
+        return self.fn(context)
+
+
+def stage(
+    name: str, deps: tuple[str, ...] = ()
+) -> Callable[[Callable[[PipelineContext], object]], FunctionStage]:
+    """Decorator sugar: turn a context function into a FunctionStage.
+
+    Example::
+
+        @stage("overview", deps=("preprocess",))
+        def overview(context):
+            records, _ = context.artifact("preprocess")
+            ...
+    """
+
+    def wrap(fn: Callable[[PipelineContext], object]) -> FunctionStage:
+        return FunctionStage(name=name, fn=fn, deps=deps)
+
+    return wrap
+
+
+@dataclass(frozen=True)
+class ShardStage:
+    """A map/reduce stage over a record partition.
+
+    Attributes:
+        name: stage/artifact name.
+        worker: picklable callable applied to each shard's record list
+            in a worker (module-level function or ``functools.partial``
+            of one when the executor is ``process``).
+        merge: reduce hook combining the per-shard outputs (ordered by
+            shard index) into the stage artifact; receives the context
+            so it can read the partition for order restoration.
+        deps: stage dependencies; must include ``shards_artifact``.
+        shards_artifact: name of the upstream stage producing the
+            ``list[Shard]`` partition.
+    """
+
+    name: str
+    worker: Callable[[list], object]
+    merge: Callable[[Sequence[object], PipelineContext], object]
+    deps: tuple[str, ...] = ("shards",)
+    shards_artifact: str = "shards"
+
+    def run(self, context: PipelineContext) -> object:
+        shards: list[Shard] = context.artifact(self.shards_artifact)  # type: ignore[assignment]
+        outputs = run_sharded(
+            self.worker,
+            [shard.records for shard in shards],
+            jobs=context.config.jobs,
+            executor=context.config.executor,
+        )
+        return self.merge(outputs, context)

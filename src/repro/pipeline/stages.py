@@ -1,0 +1,369 @@
+"""The study's analysis passes, expressed as pipeline stages.
+
+This module turns the paper's §4 methodology chain — preprocess →
+phase-slice → per-bot compliance → category aggregation (Table 5) →
+spoofing / check-frequency — into a declared DAG of
+:class:`~repro.pipeline.stage.Stage` objects, built by
+:func:`build_study_pipeline`.  The
+:class:`~repro.reporting.study.StudyAnalysis` facade is a thin view
+over exactly this pipeline; drivers in
+:mod:`repro.reporting.experiments` consume the same artifacts.
+
+Stage graph (artifact names)::
+
+    preprocess ──┬── overview
+                 ├── phase_slices ──┬── directive_records ── skipped_checks
+                 │                  ├── per_bot ── category_table
+                 │                  └── per_bot_spoofed
+                 ├── passive ── recheck
+                 ├── spoof_findings ── spoof_partitions
+                 └── site_traffic
+
+With ``config.jobs > 1`` the ``preprocess`` stage becomes a
+:class:`~repro.pipeline.stage.ShardStage`: the record stream is hash-
+partitioned by site (or IP), each shard is enriched in a parallel
+worker (:func:`repro.logs.preprocess.preprocess_shard`), and the
+merge hook applies the scanner screen to *merged* counters and
+restores original stream order
+(:func:`repro.logs.preprocess.merge_preprocess_shards`) — so sharded
+and sequential runs produce byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+from ..analysis.aggregate import category_compliance
+from ..analysis.checkfreq import recheck_by_category, skipped_check_rows
+from ..analysis.compliance import Directive
+from ..analysis.perbot import per_bot_results, spoofed_bot_results
+from ..analysis.spoofing import find_spoofed_bots, partition_records as spoof_partition
+from ..logs.preprocess import (
+    Preprocessor,
+    merge_preprocess_shards,
+    preprocess_shard,
+    records_by_bot,
+    scanner_ips_from_stats,
+    scanner_stats,
+)
+from ..logs.schema import LogRecord
+from ..robots.corpus import RobotsVersion
+from .context import PipelineConfig, PipelineContext, RecordSource
+from .runner import Pipeline
+from .shard import partition_records
+from .stage import FunctionStage, ShardStage
+
+#: Experiment phase -> measured directive (the paper's three
+#: treatment deployments; the base file is the control).
+VERSION_DIRECTIVES: dict[RobotsVersion, Directive] = {
+    RobotsVersion.V1_CRAWL_DELAY: Directive.CRAWL_DELAY,
+    RobotsVersion.V2_ENDPOINT: Directive.ENDPOINT,
+    RobotsVersion.V3_DISALLOW_ALL: Directive.DISALLOW_ALL,
+}
+
+
+def _scenario(context: PipelineContext):
+    return context.params["scenario"]
+
+
+def _records(context: PipelineContext) -> list[LogRecord]:
+    records, _report = context.artifact("preprocess")
+    return records
+
+
+# -- ingestion / preprocessing ------------------------------------------
+
+
+def _preprocess_sequential(
+    context: PipelineContext, preprocessor: Preprocessor | None = None
+) -> tuple[list[LogRecord], object]:
+    """Single-process preprocessing, streaming where the source allows.
+
+    Replayable sources (file readers) are streamed twice — one pass
+    for scanner statistics, one for filtered enrichment — so only the
+    surviving records are ever held in memory.  List sources reuse the
+    caller's list with zero copies, exactly like the legacy facade.
+    """
+    pre = preprocessor if preprocessor is not None else Preprocessor()
+    source = context.source
+    assert source is not None
+    if source.replayable:
+        if pre.drop_scanners:
+            seen, totals, probes = scanner_stats(source.stream())
+            ips = scanner_ips_from_stats(totals, probes)
+            return pre.enrich_filtered(source.stream(), ips, seen)
+        return pre.enrich_filtered(source.stream(), set())
+    return pre.run(source.materialize())
+
+
+def _partition_stage(context: PipelineContext):
+    source = context.source
+    assert source is not None
+    return partition_records(
+        source.stream(), context.config.jobs, context.config.shard_by
+    )
+
+
+def _merge_preprocess(outputs, context: PipelineContext):
+    shards = context.artifact("shards")
+    return merge_preprocess_shards(
+        list(outputs),
+        [shard.positions for shard in shards],
+        drop_scanners=context.config.drop_scanners,
+    )
+
+
+# -- slicing -------------------------------------------------------------
+
+
+def _overview(context: PipelineContext) -> list[LogRecord]:
+    scenario = _scenario(context)
+    start, end = scenario.overview_start, scenario.overview_end
+    return [
+        record
+        for record in _records(context)
+        if start <= record.timestamp < end
+    ]
+
+
+def _phase_slices(
+    context: PipelineContext,
+) -> dict[RobotsVersion, list[LogRecord]]:
+    """Experiment-site records per deployment phase, in one pass.
+
+    Slices only the phases the scenario actually defines, so partial
+    scenarios (e.g. baseline + one treatment) still support the
+    phases they have; consumers of a missing phase reproduce the
+    legacy per-version :class:`~repro.exceptions.ScenarioError` via
+    :func:`_slice_for`.
+    """
+    scenario = _scenario(context)
+    site = scenario.experiment_site
+    phases: list[tuple[RobotsVersion, object]] = []
+    seen: set[RobotsVersion] = set()
+    for phase in scenario.phases:
+        if phase.version in seen:
+            continue  # phase_for_version returns the first match
+        seen.add(phase.version)
+        phases.append((phase.version, phase))
+    slices: dict[RobotsVersion, list[LogRecord]] = {
+        version: [] for version, _ in phases
+    }
+    for record in _records(context):
+        if record.sitename != site:
+            continue
+        for version, phase in phases:
+            if phase.contains(record.timestamp):
+                slices[version].append(record)
+    return slices
+
+
+def _slice_for(
+    slices: dict[RobotsVersion, list[LogRecord]],
+    scenario,
+    version: RobotsVersion,
+) -> list[LogRecord]:
+    """One phase slice, raising the legacy ScenarioError when the
+    scenario has no phase for ``version``."""
+    try:
+        return slices[version]
+    except KeyError:
+        scenario.phase_for_version(version)  # raises ScenarioError
+        raise  # pragma: no cover - scenario mutated mid-run
+
+
+def _directive_records(
+    context: PipelineContext,
+) -> dict[Directive, list[LogRecord]]:
+    slices = context.artifact("phase_slices")
+    scenario = _scenario(context)
+    return {
+        directive: _slice_for(slices, scenario, version)
+        for version, directive in VERSION_DIRECTIVES.items()
+    }
+
+
+def _passive(context: PipelineContext) -> list[LogRecord]:
+    passive = set(_scenario(context).passive_sites)
+    return [
+        record for record in _records(context) if record.sitename in passive
+    ]
+
+
+# -- analyses ------------------------------------------------------------
+
+
+def _spoof_findings(context: PipelineContext):
+    return find_spoofed_bots(_records(context))
+
+
+def _spoof_partitions(context: PipelineContext):
+    return spoof_partition(_records(context), context.artifact("spoof_findings"))
+
+
+def _per_bot(context: PipelineContext):
+    slices = context.artifact("phase_slices")
+    return per_bot_results(
+        _slice_for(slices, _scenario(context), RobotsVersion.BASE),
+        context.artifact("directive_records"),
+        spoof_findings=context.artifact("spoof_findings"),
+    )
+
+
+def _per_bot_spoofed(context: PipelineContext):
+    slices = context.artifact("phase_slices")
+    return spoofed_bot_results(
+        _slice_for(slices, _scenario(context), RobotsVersion.BASE),
+        context.artifact("directive_records"),
+        context.artifact("spoof_findings"),
+    )
+
+
+def _category_table(context: PipelineContext):
+    return category_compliance(context.artifact("per_bot"))
+
+
+def _skipped_checks(context: PipelineContext):
+    directive_by_bot = {
+        directive: records_by_bot(records)
+        for directive, records in context.artifact("directive_records").items()
+    }
+    return skipped_check_rows(directive_by_bot)
+
+
+def _recheck(context: PipelineContext):
+    return recheck_by_category(context.artifact("passive"))
+
+
+# -- site-level tallies ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SiteTraffic:
+    """Per-site traffic tallies over the preprocessed corpus.
+
+    The multi-site substrate for observatory-style batch reporting:
+    how much traffic, how many distinct known bots, how many robots.txt
+    probes and bytes each site saw.
+    """
+
+    site: str
+    visits: int
+    known_bot_visits: int
+    unique_bots: int
+    robots_fetches: int
+    bytes_sent: int
+
+
+def _site_traffic(context: PipelineContext) -> dict[str, SiteTraffic]:
+    visits: dict[str, int] = {}
+    bot_visits: dict[str, int] = {}
+    bots: dict[str, set[str]] = {}
+    robots: dict[str, int] = {}
+    sent: dict[str, int] = {}
+    for record in _records(context):
+        site = record.sitename
+        visits[site] = visits.get(site, 0) + 1
+        sent[site] = sent.get(site, 0) + record.bytes_sent
+        if record.bot_name is not None:
+            bot_visits[site] = bot_visits.get(site, 0) + 1
+            bots.setdefault(site, set()).add(record.bot_name)
+        if record.is_robots_fetch:
+            robots[site] = robots.get(site, 0) + 1
+    return {
+        site: SiteTraffic(
+            site=site,
+            visits=visits[site],
+            known_bot_visits=bot_visits.get(site, 0),
+            unique_bots=len(bots.get(site, ())),
+            robots_fetches=robots.get(site, 0),
+            bytes_sent=sent[site],
+        )
+        for site in sorted(visits)
+    }
+
+
+# -- pipeline assembly ----------------------------------------------------
+
+
+def build_study_pipeline(
+    source,
+    scenario,
+    config: PipelineConfig | None = None,
+    preprocessor: Preprocessor | None = None,
+) -> Pipeline:
+    """Assemble the full study-analysis pipeline.
+
+    Args:
+        source: anything :meth:`RecordSource.of` accepts — a record
+            list, a reader factory, or an existing source.
+        scenario: the :class:`~repro.simulation.scenario.StudyScenario`
+            describing phases and sites.
+        config: execution knobs; ``jobs > 1`` selects the sharded
+            preprocess path (default preprocessor only).
+        preprocessor: custom preprocessing pipeline.  Custom instances
+            always run in-process (they may hold unpicklable state), so
+            they force the sequential preprocess stage.
+    """
+    config = config or PipelineConfig()
+    context = PipelineContext(
+        config=config,
+        source=RecordSource.of(source),
+        params={"scenario": scenario},
+    )
+    stages: list = []
+    if config.jobs > 1 and preprocessor is None:
+        stages.append(FunctionStage("shards", _partition_stage))
+        stages.append(
+            ShardStage(
+                "preprocess",
+                worker=partial(
+                    preprocess_shard, drop_scanners=config.drop_scanners
+                ),
+                merge=_merge_preprocess,
+                deps=("shards",),
+            )
+        )
+    else:
+        stages.append(
+            FunctionStage(
+                "preprocess",
+                partial(_preprocess_sequential, preprocessor=preprocessor),
+            )
+        )
+    stages.extend(
+        [
+            FunctionStage("overview", _overview, deps=("preprocess",)),
+            FunctionStage("phase_slices", _phase_slices, deps=("preprocess",)),
+            FunctionStage(
+                "directive_records", _directive_records, deps=("phase_slices",)
+            ),
+            FunctionStage("passive", _passive, deps=("preprocess",)),
+            FunctionStage(
+                "spoof_findings", _spoof_findings, deps=("preprocess",)
+            ),
+            FunctionStage(
+                "spoof_partitions",
+                _spoof_partitions,
+                deps=("preprocess", "spoof_findings"),
+            ),
+            FunctionStage(
+                "per_bot",
+                _per_bot,
+                deps=("phase_slices", "directive_records", "spoof_findings"),
+            ),
+            FunctionStage(
+                "per_bot_spoofed",
+                _per_bot_spoofed,
+                deps=("phase_slices", "directive_records", "spoof_findings"),
+            ),
+            FunctionStage("category_table", _category_table, deps=("per_bot",)),
+            FunctionStage(
+                "skipped_checks", _skipped_checks, deps=("directive_records",)
+            ),
+            FunctionStage("recheck", _recheck, deps=("passive",)),
+            FunctionStage("site_traffic", _site_traffic, deps=("preprocess",)),
+        ]
+    )
+    return Pipeline(stages, context=context)

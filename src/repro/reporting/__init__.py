@@ -4,6 +4,7 @@ from .experiments import (
     EXPERIMENTS,
     ExperimentResult,
     run_all,
+    run_batch,
     run_experiment,
 )
 from .figures import render_bar_chart, render_grouped_bars, render_series
@@ -26,5 +27,6 @@ __all__ = [
     "render_series",
     "render_table",
     "run_all",
+    "run_batch",
     "run_experiment",
 ]

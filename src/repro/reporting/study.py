@@ -1,40 +1,60 @@
-"""StudyAnalysis: one preprocessed view of a simulated (or real) study.
+"""StudyAnalysis: a compatibility facade over ``repro.pipeline``.
 
-Ties the whole pipeline together: preprocessing/enrichment, phase
-slicing, per-bot and category compliance, spoofing, and check
-frequency — computed lazily and cached, so the per-experiment drivers
-in :mod:`repro.reporting.experiments` stay cheap.
+Historically this class computed every analysis as an eagerly-cached
+property over one in-memory record list.  All computation now routes
+through :func:`repro.pipeline.stages.build_study_pipeline`: a DAG of
+named stages (preprocess → phase slices → per-bot compliance →
+category aggregation → spoofing / check frequency) executed by the
+memoizing :class:`~repro.pipeline.runner.Pipeline` runner, which can
+shard preprocessing by site across worker processes (``jobs``) and
+stream records straight from log readers.
+
+The public surface is unchanged — every attribute below returns the
+same object on repeated access (pipeline artifacts are memoized
+single-flight), and ``jobs=1`` (the default) is byte-identical to the
+legacy sequential path.  New code that wants partial computation,
+custom stages, or shard-level control should use the pipeline API
+directly; this facade exists so existing callers and the experiment
+drivers keep working unmodified.
+
+Stage-name mapping (facade attribute -> pipeline artifact):
+
+=====================  ====================
+``records``/``preprocess_report``  ``preprocess``
+``overview_records``   ``overview``
+``baseline_records``   ``phase_slices[BASE]``
+``directive_records``  ``directive_records``
+``passive_site_records``  ``passive``
+``spoof_findings``     ``spoof_findings``
+``spoof_partitions``   ``spoof_partitions``
+``per_bot``            ``per_bot``
+``per_bot_spoofed``    ``per_bot_spoofed``
+``category_table``     ``category_table``
+``skipped_checks``     ``skipped_checks``
+``recheck_proportions``  ``recheck``
+``site_traffic``       ``site_traffic``
+=====================  ====================
 """
 
 from __future__ import annotations
 
-from functools import cached_property
-
-from ..analysis.aggregate import CategoryComplianceTable, category_compliance
-from ..analysis.checkfreq import recheck_by_category, skipped_check_rows
+from ..analysis.aggregate import CategoryComplianceTable
 from ..analysis.compliance import Directive
-from ..analysis.perbot import (
-    BotDirectiveResult,
-    per_bot_results,
-    spoofed_bot_results,
-)
-from ..analysis.spoofing import (
-    SpoofFinding,
-    SpoofPartition,
-    find_spoofed_bots,
-    partition_records,
-)
-from ..logs.preprocess import PreprocessReport, Preprocessor, records_by_bot
+from ..analysis.perbot import BotDirectiveResult
+from ..analysis.spoofing import SpoofFinding, SpoofPartition, partition_records
+from ..logs.preprocess import Preprocessor
 from ..logs.schema import LogRecord
+from ..pipeline import (
+    Pipeline,
+    PipelineConfig,
+    RecordSource,
+    build_study_pipeline,
+)
+from ..pipeline.stages import VERSION_DIRECTIVES, SiteTraffic
 from ..robots.corpus import RobotsVersion
 from ..simulation.engine import StudyDataset
 
-#: Experiment phase -> measured directive.
-VERSION_DIRECTIVES: dict[RobotsVersion, Directive] = {
-    RobotsVersion.V1_CRAWL_DELAY: Directive.CRAWL_DELAY,
-    RobotsVersion.V2_ENDPOINT: Directive.ENDPOINT,
-    RobotsVersion.V3_DISALLOW_ALL: Directive.DISALLOW_ALL,
-}
+__all__ = ["StudyAnalysis", "VERSION_DIRECTIVES", "analyze"]
 
 
 class StudyAnalysis:
@@ -43,103 +63,173 @@ class StudyAnalysis:
     Args:
         dataset: output of the simulation engine (or a dataset built
             from real logs with the same scenario metadata).
-        preprocessor: pipeline override for custom registries.
+        preprocessor: pipeline override for custom registries
+            (always runs in-process).
+        jobs: shard/worker count for preprocessing; ``1`` (default)
+            runs fully sequentially.  Sharded (``jobs > 1``) and
+            sequential runs produce byte-identical artifacts.
+        shard_by: hash-partition key, ``"site"`` or ``"ip"``.
+        executor: shard backend (``process``/``thread``/``inline``).
+
+    .. deprecated-style note::
+        The eagerly-cached-property implementation is gone; attributes
+        are now thin views over pipeline artifacts.  Prefer
+        :func:`repro.pipeline.build_study_pipeline` for new code.
     """
 
     def __init__(
-        self, dataset: StudyDataset, preprocessor: Preprocessor | None = None
+        self,
+        dataset: StudyDataset,
+        preprocessor: Preprocessor | None = None,
+        jobs: int = 1,
+        shard_by: str = "site",
+        executor: str = "process",
     ) -> None:
         self.dataset = dataset
         self.scenario = dataset.scenario
-        pipeline = preprocessor or Preprocessor()
-        self.records, self.preprocess_report = pipeline.run(list(dataset.records))
+        self._pipeline = build_study_pipeline(
+            source=RecordSource.of(dataset.records),
+            scenario=self.scenario,
+            config=PipelineConfig(
+                jobs=jobs, shard_by=shard_by, executor=executor
+            ),
+            preprocessor=preprocessor,
+        )
+        self.records, self.preprocess_report = self._pipeline.get("preprocess")
+
+    @classmethod
+    def from_source(
+        cls,
+        source,
+        scenario,
+        preprocessor: Preprocessor | None = None,
+        jobs: int = 1,
+        shard_by: str = "site",
+        executor: str = "process",
+    ) -> "StudyAnalysis":
+        """Build an analysis straight from a streaming record source.
+
+        ``source`` is anything :meth:`RecordSource.of` accepts — most
+        usefully a reader factory like ``lambda: read_jsonl(path)``,
+        which is streamed rather than materialized twice.  The
+        ``dataset`` attribute is ``None`` on instances built this way.
+        """
+        analysis = object.__new__(cls)
+        analysis.dataset = None
+        analysis.scenario = scenario
+        analysis._pipeline = build_study_pipeline(
+            source=source,
+            scenario=scenario,
+            config=PipelineConfig(
+                jobs=jobs, shard_by=shard_by, executor=executor
+            ),
+            preprocessor=preprocessor,
+        )
+        analysis.records, analysis.preprocess_report = analysis._pipeline.get(
+            "preprocess"
+        )
+        return analysis
+
+    # -- pipeline plumbing -------------------------------------------------
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The backing pipeline (build it lazily for hand-built views)."""
+        return self._ensure_pipeline()
+
+    def _ensure_pipeline(self) -> Pipeline:
+        pipeline = self.__dict__.get("_pipeline")
+        if pipeline is None:
+            # Views constructed without __init__ (e.g. benchmark
+            # fixtures sharing preprocessed records) get a fresh
+            # sequential pipeline seeded with their records.
+            pipeline = build_study_pipeline(
+                source=RecordSource.of(self.records),
+                scenario=self.scenario,
+                config=PipelineConfig(),
+            )
+            pipeline.seed(
+                "preprocess", (self.records, self.preprocess_report)
+            )
+            self._pipeline = pipeline
+        return pipeline
+
+    def _artifact(self, name: str):
+        return self._ensure_pipeline().get(name)
 
     # -- slicing -----------------------------------------------------------
 
-    @cached_property
+    @property
     def overview_records(self) -> list[LogRecord]:
         """Records inside the 40-day overview window (all sites)."""
-        start, end = self.scenario.overview_start, self.scenario.overview_end
-        return [
-            record
-            for record in self.records
-            if start <= record.timestamp < end
-        ]
+        return self._artifact("overview")
 
     def phase_records(self, version: RobotsVersion) -> list[LogRecord]:
         """Experiment-site records during one deployment."""
-        phase = self.scenario.phase_for_version(version)
-        site = self.scenario.experiment_site
-        return [
-            record
-            for record in self.records
-            if record.sitename == site and phase.contains(record.timestamp)
-        ]
+        slices = self._artifact("phase_slices")
+        try:
+            return slices[version]
+        except KeyError:
+            # Reproduce the legacy per-version error for scenarios
+            # that do not define this phase.
+            self.scenario.phase_for_version(version)  # raises ScenarioError
+            raise  # pragma: no cover - scenario mutated mid-run
 
-    @cached_property
+    @property
     def baseline_records(self) -> list[LogRecord]:
         return self.phase_records(RobotsVersion.BASE)
 
-    @cached_property
+    @property
     def directive_records(self) -> dict[Directive, list[LogRecord]]:
-        return {
-            directive: self.phase_records(version)
-            for version, directive in VERSION_DIRECTIVES.items()
-        }
+        return self._artifact("directive_records")
 
-    @cached_property
+    @property
     def passive_site_records(self) -> list[LogRecord]:
         """Records on the fixed-robots passive-observation sites."""
-        passive = set(self.scenario.passive_sites)
-        return [record for record in self.records if record.sitename in passive]
+        return self._artifact("passive")
 
     # -- analyses ------------------------------------------------------------
 
-    @cached_property
+    @property
     def spoof_findings(self) -> dict[str, SpoofFinding]:
         """Spoofing heuristic over the full enriched dataset."""
-        return find_spoofed_bots(self.records)
+        return self._artifact("spoof_findings")
 
-    @cached_property
+    @property
     def spoof_partitions(self) -> dict[str, SpoofPartition]:
-        return partition_records(self.records, self.spoof_findings)
+        return self._artifact("spoof_partitions")
 
-    @cached_property
+    @property
     def per_bot(self) -> dict[str, dict[Directive, BotDirectiveResult]]:
         """Per-bot baseline-vs-directive results (Fig 9 / Tables 6, 10)."""
-        return per_bot_results(
-            self.baseline_records,
-            self.directive_records,
-            spoof_findings=self.spoof_findings,
-        )
+        return self._artifact("per_bot")
 
-    @cached_property
-    def per_bot_spoofed(self) -> dict[str, dict[Directive, BotDirectiveResult]]:
+    @property
+    def per_bot_spoofed(
+        self,
+    ) -> dict[str, dict[Directive, BotDirectiveResult]]:
         """Figure 11's parallel results over spoofed subsets."""
-        return spoofed_bot_results(
-            self.baseline_records,
-            self.directive_records,
-            self.spoof_findings,
-        )
+        return self._artifact("per_bot_spoofed")
 
-    @cached_property
+    @property
     def category_table(self) -> CategoryComplianceTable:
         """Table 5's category x directive compliance."""
-        return category_compliance(self.per_bot)
+        return self._artifact("category_table")
 
-    @cached_property
+    @property
     def skipped_checks(self):
         """Table 7 rows: bots that skipped >= 1 robots.txt check."""
-        directive_by_bot = {
-            directive: records_by_bot(records)
-            for directive, records in self.directive_records.items()
-        }
-        return skipped_check_rows(directive_by_bot)
+        return self._artifact("skipped_checks")
 
-    @cached_property
+    @property
     def recheck_proportions(self):
         """Figure 10: category -> window -> proportion re-checking."""
-        return recheck_by_category(self.passive_site_records)
+        return self._artifact("recheck")
+
+    @property
+    def site_traffic(self) -> dict[str, SiteTraffic]:
+        """Per-site traffic tallies (multi-site batch substrate)."""
+        return self._artifact("site_traffic")
 
     # -- phase-level spoofing (Table 9) -----------------------------------------
 

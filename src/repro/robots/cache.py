@@ -19,11 +19,24 @@ DEFAULT_TTL_SECONDS = 24 * 3600.0
 
 @dataclass
 class CacheEntry:
-    """One cached policy with its fetch timestamp."""
+    """One cached policy with its fetch timestamp.
+
+    Attributes:
+        policy: the parsed policy; its lazily-built
+            :class:`~repro.robots.compiled.CompiledPolicy` (with all
+            memoized per-agent rule sets) travels with the entry, so a
+            reused entry keeps its warmed compilation.
+        fetched_at: when the robots.txt behind it was fetched.
+        hits: fresh-entry lookups served.
+        text: the raw robots.txt body the policy was compiled from;
+            lets a TTL refresh detect byte-identical re-fetches and
+            skip recompilation entirely.
+    """
 
     policy: RobotsPolicy
     fetched_at: float
     hits: int = 0
+    text: str | None = None
 
 
 @dataclass
@@ -36,11 +49,31 @@ class RobotsCache:
         max_entries: bound on cache size; the oldest entry is evicted
             when full (simple FIFO-by-fetch-time, sufficient for the
             handful of origins a polite crawler tracks).
+        recompilations_avoided: TTL refreshes that yielded a
+            byte-identical robots.txt and reused the previously
+            compiled policy instead of re-parsing/re-compiling.
+
+    Stale entries are evicted from the live table on access, but
+    retained in a bounded side table so :meth:`refresh` can compare
+    the re-fetched body against the last seen one — the common
+    production case is a daily re-fetch returning the same bytes, for
+    which re-parsing and re-compiling every rule is pure waste.
     """
 
     ttl_seconds: float = DEFAULT_TTL_SECONDS
     max_entries: int = 10_000
+    recompilations_avoided: int = 0
     _entries: dict[str, CacheEntry] = field(default_factory=dict, repr=False)
+    _retired: dict[str, CacheEntry] = field(default_factory=dict, repr=False)
+
+    def _store(
+        self, table: dict[str, CacheEntry], origin: str, entry: CacheEntry
+    ) -> None:
+        """Insert into ``table``, evicting its oldest entry when full."""
+        if origin not in table and len(table) >= self.max_entries:
+            oldest = min(table, key=lambda key: table[key].fetched_at)
+            del table[oldest]
+        table[origin] = entry
 
     def get(self, origin: str, now: float) -> RobotsPolicy | None:
         """Return the cached policy for ``origin`` or None when absent/stale."""
@@ -48,17 +81,52 @@ class RobotsCache:
         if entry is None:
             return None
         if now - entry.fetched_at >= self.ttl_seconds:
+            # Retire to the side table so refresh() can still reuse it.
             del self._entries[origin]
+            self._store(self._retired, origin, entry)
             return None
         entry.hits += 1
         return entry.policy
 
-    def put(self, origin: str, policy: RobotsPolicy, now: float) -> None:
-        """Insert or refresh the policy for ``origin``."""
-        if origin not in self._entries and len(self._entries) >= self.max_entries:
-            oldest = min(self._entries, key=lambda key: self._entries[key].fetched_at)
-            del self._entries[oldest]
-        self._entries[origin] = CacheEntry(policy=policy, fetched_at=now)
+    def put(
+        self,
+        origin: str,
+        policy: RobotsPolicy,
+        now: float,
+        text: str | None = None,
+    ) -> None:
+        """Insert or refresh the policy for ``origin``.
+
+        ``text`` (the raw robots.txt body) enables byte-identical
+        refresh detection on later :meth:`refresh` calls.
+        """
+        self._retired.pop(origin, None)
+        self._store(
+            self._entries,
+            origin,
+            CacheEntry(policy=policy, fetched_at=now, text=text),
+        )
+
+    def refresh(self, origin: str, text: str, now: float) -> RobotsPolicy:
+        """Record a (re-)fetched robots.txt body and return its policy.
+
+        When the body is byte-identical to the last one seen for
+        ``origin`` — whether that entry is still fresh or TTL-stale —
+        the previously compiled policy object is reused as-is (its
+        memoized per-agent rule sets stay warm) and only the fetch
+        timestamp advances.  Otherwise the text is parsed into a new
+        policy and stored.
+        """
+        entry = self._entries.get(origin) or self._retired.get(origin)
+        if entry is not None and entry.text == text:
+            self.recompilations_avoided += 1
+            entry.fetched_at = now
+            self._retired.pop(origin, None)
+            self._store(self._entries, origin, entry)
+            return entry.policy
+        policy = RobotsPolicy.from_text(text)
+        self.put(origin, policy, now, text=text)
+        return policy
 
     def age(self, origin: str, now: float) -> float | None:
         """Seconds since ``origin`` was fetched, or None when not cached."""
@@ -72,11 +140,13 @@ class RobotsCache:
         return self.get(origin, now) is None
 
     def invalidate(self, origin: str) -> None:
-        """Drop the entry for ``origin`` if present."""
+        """Drop the entry for ``origin`` if present (retired too)."""
         self._entries.pop(origin, None)
+        self._retired.pop(origin, None)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._retired.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -120,6 +120,47 @@ def _priority(compiled: CompiledRule) -> tuple[int, int]:
 #: Shared default-allow result for paths no rule matches.
 _DEFAULT_ALLOW = MatchResult(allowed=True, rule=None)
 
+#: Rule count at which first-segment bucketing activates.  Small rule
+#: sets scan faster than they dict-lookup; thousand-rule corpora are
+#: where skipping non-candidate rules pays.
+BUCKET_THRESHOLD = 16
+
+
+def _bucket_key(compiled: CompiledRule) -> str | None:
+    """The first literal path segment this rule can match, if provable.
+
+    A rule may be bucketed only when every path it matches is known to
+    share one exact first segment:
+
+    - its literal prefix contains a *complete* first segment (a second
+      ``/`` appears inside the prefix), or
+    - it is an anchored literal (whole-path equality), whose single
+      segment is the rest of the body.
+
+    Everything else — prefixes without a terminating slash (``/foo``
+    also matches ``/foobar/x``), patterns with a wildcard inside the
+    first segment, patterns not starting with ``/`` — stays in the
+    generic bucket, checked for every path.  Conservative by
+    construction: a bucketed rule is *skipped* only for paths whose
+    first segment provably differs.
+    """
+    prefix = compiled.prefix
+    if not prefix.startswith("/"):
+        return None
+    slash = prefix.find("/", 1)
+    if slash >= 0:
+        return prefix[1:slash]
+    if compiled.regex is None and compiled.anchored:
+        return prefix[1:]
+    return None
+
+
+def _first_segment(path: str) -> str:
+    """First path segment of a normalized request path."""
+    start = 1 if path.startswith("/") else 0
+    end = path.find("/", start)
+    return path[start:] if end < 0 else path[start:end]
+
 
 class CompiledRuleSet:
     """An ordered, pre-compiled rule list with first-match evaluation.
@@ -136,11 +177,26 @@ class CompiledRuleSet:
     unpack plus one string/regex primitive, with no attribute or
     method dispatch and no per-match allocation (each rule's
     :class:`~repro.robots.matcher.MatchResult` is prebuilt).
+
+    At :data:`BUCKET_THRESHOLD` rules and above, rules whose match set
+    provably shares one first path segment (see :func:`_bucket_key`)
+    are additionally indexed by that segment: evaluation looks up the
+    request path's first segment and scans only that bucket's rules
+    merged (in priority order) with the generic bucket, so thousand-
+    rule corpora skip non-candidate rules before any ``startswith`` or
+    regex runs.  Bucketing never changes verdicts — each bucket table
+    is a priority-ordered superset of the rules that can match its
+    paths, and paths without a bucket fall back to the generic table.
     """
 
-    __slots__ = ("rules", "_table")
+    __slots__ = ("rules", "_table", "_buckets", "_generic")
 
-    def __init__(self, rules: Iterable[Rule]) -> None:
+    def __init__(
+        self, rules: Iterable[Rule], bucket_threshold: int | None = None
+    ) -> None:
+        threshold = (
+            BUCKET_THRESHOLD if bucket_threshold is None else bucket_threshold
+        )
         compiled = [
             CompiledRule.compile(rule) for rule in rules if not rule.is_empty
         ]
@@ -159,6 +215,25 @@ class CompiledRuleSet:
             )
             for entry in compiled
         )
+        self._buckets: dict[str, tuple] | None = None
+        self._generic: tuple = ()
+        keyed: dict[str, list[int]] = {}
+        generic: list[int] = []
+        for position, entry in enumerate(compiled):
+            key = _bucket_key(entry)
+            if key is None:
+                generic.append(position)
+            else:
+                keyed.setdefault(key, []).append(position)
+        if len(compiled) >= threshold and keyed:
+            table = self._table
+            self._generic = tuple(table[i] for i in generic)
+            self._buckets = {
+                key: tuple(
+                    table[i] for i in sorted(positions + generic)
+                )
+                for key, positions in keyed.items()
+            }
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -169,8 +244,12 @@ class CompiledRuleSet:
         """The winning rule's prebuilt result, ``None`` if no rule
         matches.  The hot inner loop: callers pass an
         already-normalized path and no object is constructed."""
+        table = self._table
+        buckets = self._buckets
+        if buckets is not None:
+            table = buckets.get(_first_segment(normalized_path), self._generic)
         startswith = normalized_path.startswith
-        for prefix, exact, regex, result in self._table:
+        for prefix, exact, regex, result in table:
             if regex is not None:
                 if startswith(prefix) and regex.match(normalized_path):
                     return result

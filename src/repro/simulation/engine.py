@@ -10,6 +10,7 @@ with hashed IPs, yielding the dataset the analysis pipeline consumes.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from ..bots.agent import BotAgent
@@ -61,6 +62,29 @@ class StudyDataset:
     def overview_records(self) -> list[LogRecord]:
         """Records inside the 40-day overview window (all sites)."""
         return self.window(self.scenario.overview_start, self.scenario.overview_end)
+
+    # -- pipeline ingestion hooks -------------------------------------
+
+    def source(self):
+        """This dataset as a zero-copy pipeline record source."""
+        from ..pipeline.context import RecordSource
+
+        return RecordSource.of(self.records)
+
+    def iter_shards(
+        self, shards: int, shard_by: str = "site"
+    ) -> Iterator["object"]:
+        """Deterministic hash shards of the dataset's records.
+
+        Yields :class:`~repro.pipeline.shard.Shard` objects — the same
+        partition the sharded analysis pipeline consumes, so callers
+        can feed shards to their own distributed workers while keeping
+        the pipeline's parity guarantees (stable crc32 assignment,
+        per-shard order preservation, original positions retained).
+        """
+        from ..pipeline.shard import partition_records
+
+        yield from partition_records(self.records, shards, shard_by)
 
     def __len__(self) -> int:
         return len(self.records)

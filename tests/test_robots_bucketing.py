@@ -1,0 +1,151 @@
+"""First-segment bucketing: equivalence with the unbucketed engine.
+
+``CompiledRuleSet`` may index rules by their first literal path
+segment (skipping non-candidate rules for large corpora).  The
+optimization must be invisible: for every rule set and every path, the
+bucketed engine, the unbucketed engine, and the legacy full scan must
+return the same verdict and the same winning rule.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.robots.builder import RobotsBuilder
+from repro.robots.compiled import (
+    BUCKET_THRESHOLD,
+    CompiledRuleSet,
+    _bucket_key,
+    _first_segment,
+)
+from repro.robots.matcher import evaluate_rules
+from repro.robots.model import Rule, RuleType
+
+SEGMENTS = ("a", "b", "ab", "x", "news", "n")
+TAILS = ("", "/", "/sub", "/sub/page", ".json", "-1")
+
+path_strategy = st.builds(
+    lambda seg, tail: f"/{seg}{tail}",
+    st.sampled_from(SEGMENTS),
+    st.sampled_from(TAILS),
+)
+
+pattern_strategy = st.one_of(
+    path_strategy,
+    st.builds(
+        lambda seg, tail, anchor: f"/{seg}{tail}{anchor}",
+        st.sampled_from(SEGMENTS),
+        st.sampled_from(TAILS),
+        st.sampled_from(("$", "")),
+    ),
+    st.builds(
+        lambda seg, wild, tail: f"/{seg}{wild}{tail}",
+        st.sampled_from(SEGMENTS),
+        st.sampled_from(("*", "/*", "*/")),
+        st.sampled_from(("", "x", "x$")),
+    ),
+    st.sampled_from(("/", "*", "/*", "*.json$", "")),
+)
+
+rule_strategy = st.builds(
+    lambda kind, path: Rule(type=kind, path=path),
+    st.sampled_from((RuleType.ALLOW, RuleType.DISALLOW)),
+    pattern_strategy,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(rule_strategy, min_size=0, max_size=40),
+    st.lists(path_strategy, min_size=1, max_size=10),
+)
+def test_bucketed_equals_unbucketed_and_legacy(rules, paths):
+    bucketed = CompiledRuleSet(rules, bucket_threshold=0)
+    unbucketed = CompiledRuleSet(rules, bucket_threshold=10**9)
+    for path in paths:
+        want = unbucketed.decide(path)
+        got = bucketed.decide(path)
+        assert got.allowed == want.allowed
+        assert got.rule is want.rule
+        legacy = evaluate_rules(list(rules), path)
+        assert got.allowed == legacy.allowed
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(rule_strategy, min_size=0, max_size=40),
+    st.sampled_from(
+        ("/", "", "/a", "/ab/sub", "/%41b", "/café", "*odd", "//double")
+    ),
+)
+def test_bucketed_agrees_on_edge_paths(rules, path):
+    bucketed = CompiledRuleSet(rules, bucket_threshold=0)
+    unbucketed = CompiledRuleSet(rules, bucket_threshold=10**9)
+    assert bucketed.allows(path) == unbucketed.allows(path)
+
+
+class TestBucketKeys:
+    def _compiled(self, pattern: str):
+        ruleset = CompiledRuleSet(
+            [Rule(type=RuleType.DISALLOW, path=pattern)], bucket_threshold=10**9
+        )
+        (entry,) = ruleset.rules
+        return entry
+
+    def test_complete_segment_is_bucketed(self):
+        assert _bucket_key(self._compiled("/news/archive")) == "news"
+
+    def test_incomplete_prefix_stays_generic(self):
+        # "/foo" also matches "/foobar/x" — cannot be pinned to "foo".
+        assert _bucket_key(self._compiled("/foo")) is None
+
+    def test_anchored_literal_is_bucketed(self):
+        assert _bucket_key(self._compiled("/foo$")) == "foo"
+
+    def test_wildcard_in_first_segment_stays_generic(self):
+        assert _bucket_key(self._compiled("/fo*/bar")) is None
+
+    def test_wildcard_after_complete_segment_is_bucketed(self):
+        assert _bucket_key(self._compiled("/news/*.json$")) == "news"
+
+    def test_leading_wildcard_stays_generic(self):
+        assert _bucket_key(self._compiled("*private")) is None
+
+    def test_first_segment_extraction(self):
+        assert _first_segment("/news/archive") == "news"
+        assert _first_segment("/news") == "news"
+        assert _first_segment("/") == ""
+        assert _first_segment("//x") == ""
+
+
+class TestActivation:
+    def _hundred_rule_set(self) -> list[Rule]:
+        builder = RobotsBuilder().group("*")
+        for section in range(20):
+            for page in range(5):
+                builder.disallow(f"/section-{section:02d}/private-{page}")
+        robots = builder.build()
+        return [rule for group in robots.groups for rule in group.rules]
+
+    def test_default_threshold_activates_on_large_sets(self):
+        rules = self._hundred_rule_set()
+        assert len(rules) >= BUCKET_THRESHOLD
+        ruleset = CompiledRuleSet(rules)
+        assert ruleset._buckets is not None
+        assert ruleset.allows("/section-03/private-2") is False
+        assert ruleset.allows("/section-03/public") is True
+        assert ruleset.allows("/elsewhere") is True
+
+    def test_small_sets_stay_linear(self):
+        ruleset = CompiledRuleSet(
+            [Rule(type=RuleType.DISALLOW, path="/a/b")]
+        )
+        assert ruleset._buckets is None
+
+    def test_bucket_tables_are_priority_supersets(self):
+        rules = self._hundred_rule_set()
+        rules.append(Rule(type=RuleType.ALLOW, path="/section-03/private-1x"))
+        ruleset = CompiledRuleSet(rules)
+        assert ruleset._buckets is not None
+        # The more specific Allow must still win inside its bucket.
+        assert ruleset.allows("/section-03/private-1x") is True
+        assert ruleset.allows("/section-03/private-1") is False

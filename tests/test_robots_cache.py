@@ -71,3 +71,52 @@ class TestRobotsCache:
         cache.put("s", make_policy(), now=0.0)
         cache.get("s", now=5.0)
         assert "s" not in cache
+
+
+ROBOTS_TEXT = "User-agent: *\nDisallow: /x\n"
+
+
+class TestCompiledPolicyReuse:
+    def test_identical_refresh_reuses_policy_object(self):
+        cache = RobotsCache(ttl_seconds=10.0)
+        first = cache.refresh("s", ROBOTS_TEXT, now=0.0)
+        compiled = first.compiled()
+        first.can_fetch("GPTBot", "/x/1")  # warm the per-agent memo
+        assert cache.get("s", now=20.0) is None  # TTL expired
+        second = cache.refresh("s", ROBOTS_TEXT, now=20.0)
+        assert second is first
+        assert second.compiled() is compiled
+        assert cache.recompilations_avoided == 1
+        assert cache.get("s", now=25.0) is first  # fresh again
+
+    def test_changed_text_recompiles(self):
+        cache = RobotsCache(ttl_seconds=10.0)
+        first = cache.refresh("s", ROBOTS_TEXT, now=0.0)
+        second = cache.refresh(
+            "s", ROBOTS_TEXT + "Disallow: /y\n", now=20.0
+        )
+        assert second is not first
+        assert cache.recompilations_avoided == 0
+        assert not second.can_fetch("GPTBot", "/y/1")
+
+    def test_refresh_while_fresh_also_reuses(self):
+        cache = RobotsCache(ttl_seconds=100.0)
+        first = cache.refresh("s", ROBOTS_TEXT, now=0.0)
+        second = cache.refresh("s", ROBOTS_TEXT, now=5.0)
+        assert second is first
+        assert cache.age("s", now=6.0) == 1.0  # clock advanced
+
+    def test_put_with_text_enables_reuse(self):
+        cache = RobotsCache(ttl_seconds=1.0)
+        policy = make_policy()
+        cache.put("s", policy, now=0.0, text=ROBOTS_TEXT)
+        assert cache.get("s", now=5.0) is None
+        assert cache.refresh("s", ROBOTS_TEXT, now=5.0) is policy
+
+    def test_invalidate_clears_retired_entry(self):
+        cache = RobotsCache(ttl_seconds=1.0)
+        first = cache.refresh("s", ROBOTS_TEXT, now=0.0)
+        cache.get("s", now=5.0)  # retire
+        cache.invalidate("s")
+        second = cache.refresh("s", ROBOTS_TEXT, now=6.0)
+        assert second is not first
