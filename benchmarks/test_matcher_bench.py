@@ -88,7 +88,7 @@ def best_time(fn, repeats: int = 3) -> float:
     return best
 
 
-def test_single_can_fetch_speedup():
+def test_single_can_fetch_speedup(bench_timings):
     policy = build_hundred_rule_policy()
     agent = "GPTBot"
     rounds = 300
@@ -118,10 +118,16 @@ def test_single_can_fetch_speedup():
         f"legacy {legacy_elapsed:.4f}s, compiled {compiled_elapsed:.4f}s, "
         f"speedup {speedup:.1f}x"
     )
+    bench_timings(
+        "matcher/single_can_fetch",
+        legacy_s=legacy_elapsed,
+        compiled_s=compiled_elapsed,
+        speedup=speedup,
+    )
     assert_speedup(speedup)
 
 
-def test_batch_can_fetch_many_speedup():
+def test_batch_can_fetch_many_speedup(bench_timings):
     policy = build_hundred_rule_policy()
     agent = "ClaudeBot"
     rounds = 300
@@ -147,6 +153,12 @@ def test_batch_can_fetch_many_speedup():
         f"\nbatch can_fetch_many x{rounds}: "
         f"legacy {legacy_elapsed:.4f}s, batch {batch_elapsed:.4f}s, "
         f"speedup {speedup:.1f}x"
+    )
+    bench_timings(
+        "matcher/batch_can_fetch_many",
+        legacy_s=legacy_elapsed,
+        compiled_s=batch_elapsed,
+        speedup=speedup,
     )
     assert_speedup(speedup)
 
@@ -189,7 +201,7 @@ def legacy_restrictiveness_series(
     return series
 
 
-def test_observatory_series_speedup():
+def test_observatory_series_speedup(bench_timings):
     observatory = _observatory_with_snapshots(240)
 
     # Warm snapshot parse caches (cached_property) and compiled memos
@@ -210,6 +222,12 @@ def test_observatory_series_speedup():
         f"\nrestrictiveness_series over 240 snapshots: "
         f"legacy {legacy_elapsed:.4f}s, compiled {compiled_elapsed:.4f}s, "
         f"speedup {speedup:.1f}x"
+    )
+    bench_timings(
+        "matcher/observatory_series",
+        legacy_s=legacy_elapsed,
+        compiled_s=compiled_elapsed,
+        speedup=speedup,
     )
     assert_speedup(speedup)
 

@@ -115,7 +115,7 @@ def _run_pipeline(records: list[LogRecord], jobs: int):
     return kept, report, traffic
 
 
-def test_sharded_pipeline_speedup_and_parity():
+def test_sharded_pipeline_speedup_and_parity(bench_timings):
     records = build_multisite_corpus()
 
     # Parity first: sharded output must be byte-identical to sequential.
@@ -135,6 +135,14 @@ def test_sharded_pipeline_speedup_and_parity():
         f"\npipeline preprocess+tallies over {len(records):,} records / "
         f"16 sites: sequential {sequential:.3f}s, "
         f"--jobs {BENCH_JOBS} {sharded:.3f}s, speedup {speedup:.2f}x [{gate}]"
+    )
+    bench_timings(
+        "pipeline/sharded_preprocess",
+        sequential_s=sequential,
+        sharded_s=sharded,
+        speedup=speedup,
+        jobs=BENCH_JOBS,
+        enforced=ENFORCE_SPEEDUP,
     )
     assert_speedup(speedup)
 
@@ -163,7 +171,7 @@ def _build_observatory(sites: int = 48, snapshots: int = 10) -> RobotsObservator
     return observatory
 
 
-def test_observatory_batch_speedup_and_parity():
+def test_observatory_batch_speedup_and_parity(bench_timings):
     observatory = _build_observatory()
 
     batched = observatory.batch_restrictiveness_series(jobs=BENCH_JOBS)
@@ -188,5 +196,13 @@ def test_observatory_batch_speedup_and_parity():
         f"\nobservatory batch over 48 sites x 10 snapshots: "
         f"sequential {sequential:.3f}s, jobs={BENCH_JOBS} "
         f"{batched_elapsed:.3f}s, speedup {speedup:.2f}x"
+    )
+    bench_timings(
+        "pipeline/observatory_batch",
+        sequential_s=sequential,
+        sharded_s=batched_elapsed,
+        speedup=speedup,
+        jobs=BENCH_JOBS,
+        enforced=ENFORCE_SPEEDUP,
     )
     assert_speedup(speedup)

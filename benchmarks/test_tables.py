@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro.analysis.compliance import Directive
 from repro.reporting import experiments
-from repro.robots.corpus import RobotsVersion
 from repro.uaparse.categories import BotCategory
 
 

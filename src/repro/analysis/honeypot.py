@@ -19,7 +19,6 @@ combines the result with the heuristic's findings:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 

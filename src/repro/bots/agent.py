@@ -22,7 +22,7 @@ pipeline) to the per-bot ratios in the paper's Table 6.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from ..web.message import Request
 from ..web.server import WebServer
 from ..web.site import ROBOTS_PATH, Website
 from .behavior import BotProfile, ComplianceProfile
-from ..simulation.clock import SECONDS_PER_DAY, epoch, iso_day
+from ..simulation.clock import SECONDS_PER_DAY, epoch
 from ..simulation.iphash import generate_ip_pool
 from ..simulation.scenario import StudyScenario
 

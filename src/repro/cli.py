@@ -14,6 +14,18 @@ Subcommands:
     queries.
 ``versions``
     Print the paper's four experimental robots.txt files.
+``cache``
+    Inspect (``info``) or empty (``clear``) an incremental-analysis
+    artifact cache created with ``--cache-dir``.
+
+Incremental analysis: ``analyze``/``report`` accept ``--cache-dir`` to
+persist stage artifacts between runs.  Cached artifacts are keyed by a
+streaming fingerprint of the input log (hashed in chunks, so appended
+records only invalidate trailing chunks), each stage's code token, and
+the transitive fingerprints of its dependencies; re-running over an
+unchanged log loads every artifact from disk, and appending records
+reruns only the affected shard plus downstream stages.  ``--no-cache``
+skips cache reads but still publishes fresh artifacts (a refresh).
 """
 
 from __future__ import annotations
@@ -92,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help=f"artifact ids to print (default: all of {', '.join(EXPERIMENTS)})",
     )
+    _add_cache_options(analyze)
 
     report = commands.add_parser("report", help="simulate + analyze + print")
     report.add_argument("--scale", type=float, default=0.05)
@@ -101,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-by", choices=("site", "ip"), default="site"
     )
     report.add_argument("--experiments", nargs="*", default=None, metavar="ID")
+    _add_cache_options(report)
 
     robots = commands.add_parser("robots", help="inspect a robots.txt file")
     robots.add_argument("file", type=Path)
@@ -122,8 +136,42 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard.add_argument("--scale", type=float, default=0.05)
     scorecard.add_argument("--seed", type=int, default=2025)
 
+    cache = commands.add_parser(
+        "cache", help="inspect or clear an incremental-analysis cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=("info", "clear"),
+        help="info: entry count and footprint; clear: delete all artifacts",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        required=True,
+        help="artifact store directory (as passed to analyze/report)",
+    )
+
     commands.add_parser("versions", help="print the paper's four robots.txt files")
     return parser
+
+
+def _add_cache_options(subparser: argparse.ArgumentParser) -> None:
+    """The incremental-analysis flags shared by analyze/report."""
+    subparser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "persist stage artifacts here; unchanged inputs are served "
+            "from disk, appended logs rerun only affected shards and "
+            "their downstream stages"
+        ),
+    )
+    subparser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip cache reads but still publish fresh artifacts",
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -163,19 +211,28 @@ def _record_reader(args: argparse.Namespace):
     return lambda: read_jsonl(args.log)
 
 
+def _print_cache_stats(analysis: StudyAnalysis, args: argparse.Namespace) -> None:
+    if args.cache_dir is not None:
+        print(f"cache: {analysis.cache_stats.summary()}", file=sys.stderr)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     analysis = StudyAnalysis.from_source(
         _record_reader(args),
         scenario=default_scenario(seed=args.seed),
         jobs=args.jobs,
         shard_by=args.shard_by,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
     )
     print(
         f"loaded {analysis.preprocess_report.input_records:,} records "
         f"from {args.log}",
         file=sys.stderr,
     )
-    return _print_experiments(analysis, args.experiments)
+    code = _print_experiments(analysis, args.experiments)
+    _print_cache_stats(analysis, args)
+    return code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -185,9 +242,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     analysis = StudyAnalysis(
-        dataset, jobs=args.jobs, shard_by=args.shard_by
+        dataset,
+        jobs=args.jobs,
+        shard_by=args.shard_by,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
     )
-    return _print_experiments(analysis, args.experiments)
+    code = _print_experiments(analysis, args.experiments)
+    _print_cache_stats(analysis, args)
+    return code
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .pipeline.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {args.cache_dir}")
+        return 0
+    details = store.info()
+    print(f"cache: {details.path}")
+    print(f"entries: {details.entries}")
+    print(f"bytes: {details.total_bytes:,}")
+    return 0
 
 
 def _cmd_robots(args: argparse.Namespace) -> int:
@@ -250,6 +328,7 @@ _HANDLERS = {
     "robots": _cmd_robots,
     "diff": _cmd_diff,
     "scorecard": _cmd_scorecard,
+    "cache": _cmd_cache,
     "versions": _cmd_versions,
 }
 

@@ -9,7 +9,7 @@ referer — plus the enrichment columns the preprocessing pipeline adds
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime, timezone
 
 from ..uaparse.categories import BotCategory

@@ -38,7 +38,6 @@ from .robots.diff import (
     diff_policies,
 )
 from .robots.policy import RobotsPolicy
-from .uaparse.categories import BotCategory
 from .uaparse.registry import default_registry
 
 
@@ -187,12 +186,35 @@ class RobotsObservatory:
 
     # -- multi-site batch entry points (pipeline shard executor) ---------
 
+    #: Code/version token for cached series; bump when the series
+    #: semantics (restrictiveness scoring, probe evaluation) change.
+    _SERIES_CACHE_TOKEN = "1"
+
+    def _history_fingerprint(self, site: str, agents: tuple[str, ...]) -> str:
+        """Cache key for one site's series: snapshot history + probes,
+        plus the store schema and a series code token so semantic fixes
+        invalidate stale entries like they do for pipeline stages."""
+        from .pipeline.store import CACHE_SCHEMA, digest_parts
+
+        parts = [
+            "observatory-series",
+            CACHE_SCHEMA,
+            self._SERIES_CACHE_TOKEN,
+            site,
+            ",".join(agents),
+        ]
+        for snapshot in self._snapshots.get(site, []):
+            parts.append(f"{snapshot.fetched_at!r}")
+            parts.append(snapshot.text)
+        return digest_parts(*parts)
+
     def batch_restrictiveness_series(
         self,
         sites: list[str] | None = None,
         agents: tuple[str, ...] = DEFAULT_PROBE_AGENTS,
         jobs: int = 1,
         executor: str = "process",
+        cache_dir: object = None,
     ) -> dict[str, list[tuple[float, float]]]:
         """Restrictiveness series for many sites at once.
 
@@ -204,43 +226,73 @@ class RobotsObservatory:
         results are identical to calling
         :meth:`restrictiveness_series` per site and keep the input
         site order.
+
+        With ``cache_dir`` set, each site's series is cached in a
+        persistent :class:`~repro.pipeline.store.ArtifactStore` keyed
+        by the site's snapshot history and the probe agents — the
+        weekly re-diff pattern: recording a new snapshot for one site
+        recomputes only that site, every other site loads from disk.
         """
         from .pipeline.shard import chunk_evenly, run_sharded
 
         chosen = list(sites) if sites is not None else self.sites()
-        if jobs <= 1 or len(chosen) <= 1:
-            return {
-                site: self.restrictiveness_series(site, agents=agents)
-                for site in chosen
-            }
-        payloads = chunk_evenly(
-            [
-                (
-                    site,
-                    [
-                        (snapshot.fetched_at, snapshot.text)
-                        for snapshot in self._snapshots.get(site, [])
-                    ],
-                )
-                for site in chosen
-            ],
-            jobs,
-        )
-        worker = functools.partial(_series_batch_worker, agents=tuple(agents))
-        outputs = run_sharded(worker, payloads, jobs=jobs, executor=executor)
-        return {
-            site: series for chunk in outputs for site, series in chunk
-        }
+        store = None
+        if cache_dir is not None:
+            from .pipeline.store import ArtifactStore
+
+            store = ArtifactStore(cache_dir)
+        series: dict[str, list[tuple[float, float]]] = {}
+        keys: dict[str, str] = {}
+        pending = chosen
+        if store is not None:
+            pending = []
+            for site in chosen:
+                key = self._history_fingerprint(site, tuple(agents))
+                keys[site] = key
+                status, value = store.load(key)
+                if status == "hit":
+                    series[site] = value
+                else:
+                    pending.append(site)
+        if jobs <= 1 or len(pending) <= 1:
+            for site in pending:
+                series[site] = self.restrictiveness_series(site, agents=agents)
+        else:
+            payloads = chunk_evenly(
+                [
+                    (
+                        site,
+                        [
+                            (snapshot.fetched_at, snapshot.text)
+                            for snapshot in self._snapshots.get(site, [])
+                        ],
+                    )
+                    for site in pending
+                ],
+                jobs,
+            )
+            worker = functools.partial(
+                _series_batch_worker, agents=tuple(agents)
+            )
+            outputs = run_sharded(worker, payloads, jobs=jobs, executor=executor)
+            for chunk in outputs:
+                for site, site_series in chunk:
+                    series[site] = site_series
+        if store is not None:
+            for site in pending:
+                store.store(keys[site], series[site])
+        return {site: series[site] for site in chosen}
 
     def batch_tightening_slopes(
         self,
         sites: list[str] | None = None,
         jobs: int = 1,
         executor: str = "process",
+        cache_dir: object = None,
     ) -> dict[str, float]:
         """Tightening slope per site, batched on the shard executor."""
         series_by_site = self.batch_restrictiveness_series(
-            sites=sites, jobs=jobs, executor=executor
+            sites=sites, jobs=jobs, executor=executor, cache_dir=cache_dir
         )
         return {
             site: _least_squares_slope(series)

@@ -38,6 +38,16 @@ the contract:
     :class:`~repro.reporting.study.StudyAnalysis` facade and the
     experiment drivers are thin views over it.
 
+**Incremental caching** (:mod:`repro.pipeline.store`)
+    A content-addressed on-disk :class:`ArtifactStore`.  Stage keys
+    combine a streaming, chunked source fingerprint, each stage's
+    declared code token, and the transitive fingerprints of its
+    dependencies; shard-stage worker outputs are additionally cached
+    per shard by content, so appending records to a log reruns only
+    the affected shard plus the stages downstream of it.  The cached
+    == cold byte-parity guarantee is property-tested alongside the
+    sharded == sequential one.
+
 Quickstart::
 
     from repro.pipeline import PipelineConfig, build_study_pipeline
@@ -46,9 +56,11 @@ Quickstart::
         source=lambda: read_jsonl("study.jsonl"),
         scenario=default_scenario(),
         config=PipelineConfig(jobs=4, shard_by="site"),
+        cache_dir=".repro-cache",            # incremental re-analysis
     )
     table = pipeline.get("category_table")       # Table 5
     records, report = pipeline.get("preprocess")
+    print(pipeline.context.stats.summary())      # hits/misses this run
 """
 
 from .context import PipelineConfig, PipelineContext, RecordSource
@@ -62,8 +74,17 @@ from .shard import (
 )
 from .stage import FunctionStage, ShardStage, Stage, stage
 from .stages import SiteTraffic, VERSION_DIRECTIVES, build_study_pipeline
+from .store import (
+    ArtifactStore,
+    CacheStats,
+    SourceFingerprint,
+    fingerprint_records,
+    fingerprint_stream,
+)
 
 __all__ = [
+    "ArtifactStore",
+    "CacheStats",
     "FunctionStage",
     "Pipeline",
     "PipelineConfig",
@@ -72,10 +93,13 @@ __all__ = [
     "Shard",
     "ShardStage",
     "SiteTraffic",
+    "SourceFingerprint",
     "Stage",
     "VERSION_DIRECTIVES",
     "build_study_pipeline",
     "chunk_evenly",
+    "fingerprint_records",
+    "fingerprint_stream",
     "partition_records",
     "run_sharded",
     "shard_index",

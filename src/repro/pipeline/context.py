@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from ..exceptions import PipelineError
 from ..logs.schema import LogRecord
+from .store import ArtifactStore, CacheStats, SourceFingerprint, fingerprint_stream
 
 #: Valid shard-key names (see :mod:`repro.pipeline.shard`).
 SHARD_BY_CHOICES: tuple[str, ...] = ("site", "ip")
@@ -83,7 +84,7 @@ class RecordSource:
       since a bare iterator cannot be replayed).
     """
 
-    __slots__ = ("_factory", "_spill")
+    __slots__ = ("_factory", "_spill", "_fingerprint")
 
     def __init__(
         self,
@@ -96,6 +97,7 @@ class RecordSource:
             )
         self._factory = factory
         self._spill = records
+        self._fingerprint: SourceFingerprint | None = None
 
     @classmethod
     def of(
@@ -138,6 +140,20 @@ class RecordSource:
             self._spill = list(self._factory())
         return self._spill
 
+    def fingerprint(self) -> SourceFingerprint:
+        """Chunked content identity of this source (computed once).
+
+        The fingerprint keys every cached artifact derived from this
+        source, so appended logs are detected without re-running any
+        stage.  Cached per instance: a factory source is assumed not to
+        change underneath one pipeline run; re-reading a grown log file
+        means constructing a fresh source (the CLI does this on every
+        invocation).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_stream(self.stream())
+        return self._fingerprint
+
 
 @dataclass
 class PipelineContext:
@@ -150,12 +166,19 @@ class PipelineContext:
         params: free-form inputs (e.g. ``params["scenario"]``).
         artifacts: memoized stage outputs, keyed by stage name.  Written
             by the runner; stages read dependencies via :meth:`artifact`.
+        store: optional persistent artifact cache; when set, the runner
+            consults it before executing a stage and publishes fresh
+            artifacts into it.
+        stats: cache hit/miss/invalidation accounting for this run
+            (always present; stays all-zero without a store).
     """
 
     config: PipelineConfig = field(default_factory=PipelineConfig)
     source: RecordSource | None = None
     params: dict[str, object] = field(default_factory=dict)
     artifacts: dict[str, object] = field(default_factory=dict)
+    store: ArtifactStore | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
 
     def artifact(self, name: str) -> object:
         """A previously computed stage artifact (raises if absent)."""

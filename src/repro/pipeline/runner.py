@@ -18,6 +18,18 @@ and memoized:
 Memoization is single-flight: concurrent requests for one artifact
 block on a shared future instead of duplicating work, so the same
 pipeline instance is safe to share across threads.
+
+When the context carries an :class:`~repro.pipeline.store.ArtifactStore`,
+memoization extends across runs: before executing a cacheable stage the
+runner derives the stage's key — ``H(schema, stage name, stage token,
+params/config environment, transitive dependency fingerprints, and the
+source fingerprint for root stages)`` — and serves the stored artifact
+on a hit.  :class:`~repro.pipeline.stage.ShardStage` additionally caches
+each shard's worker output under the shard's *content* fingerprint, so
+an appended log reruns only the shards that actually received records;
+untouched shards load from the store and only the merge (plus the
+stages downstream of the changed data) recomputes.  Hits, misses and
+invalidations are tallied in ``context.stats``.
 """
 
 from __future__ import annotations
@@ -28,7 +40,9 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 
 from ..exceptions import PipelineError
 from .context import PipelineContext
-from .stage import Stage
+from .shard import Shard
+from .stage import ShardStage, Stage
+from .store import CACHE_SCHEMA, digest_parts, fingerprint_records, stable_token
 
 
 class Pipeline:
@@ -48,6 +62,8 @@ class Pipeline:
         self._validate()
         self._lock = threading.Lock()
         self._futures: dict[str, Future] = {}
+        self._fingerprints: dict[str, str] = {}
+        self._env_fingerprint: str | None = None
 
     # -- graph bookkeeping -------------------------------------------
 
@@ -99,6 +115,62 @@ class Pipeline:
             frontier.extend(self._stages[name].deps)
         return needed
 
+    # -- cache keys ---------------------------------------------------
+
+    def _environment(self) -> str:
+        """Fingerprint of everything outside the stage graph that can
+        change results: free-form params (the scenario) and the
+        result-affecting config knob.  Parallelism knobs (``jobs``,
+        ``executor``, ``shard_by``) are deliberately excluded — the
+        sharded == sequential parity guarantee means artifacts are
+        interchangeable across them, so a cache written at ``--jobs 4``
+        serves a ``--jobs 1`` rerun and vice versa."""
+        if self._env_fingerprint is None:
+            context = self.context
+            self._env_fingerprint = digest_parts(
+                CACHE_SCHEMA,
+                stable_token(context.params),
+                stable_token(context.config.drop_scanners),
+            )
+        return self._env_fingerprint
+
+    def _source_digest(self) -> str:
+        source = self.context.source
+        return source.fingerprint().digest if source is not None else ""
+
+    def _stage_fingerprint(self, name: str) -> str:
+        """Transitive cache key for one stage (memoized).
+
+        Root stages (no deps) fold in the source fingerprint; everyone
+        else inherits it through their dependency fingerprints — so an
+        appended log invalidates exactly the cone downstream of
+        ingestion, and a bumped stage token invalidates exactly the
+        cone downstream of that stage.
+        """
+        cached = self._fingerprints.get(name)
+        if cached is not None:
+            return cached
+        item = self._stages[name]
+        parts = [
+            "stage",
+            name,
+            getattr(item, "token", ""),
+            self._environment(),
+        ]
+        if not item.deps:
+            parts.append(self._source_digest())
+        for dep in item.deps:
+            # Passthrough deps (the shard partition) are transparent:
+            # dependents key on the source itself, so sequential and
+            # sharded variants of the same stage share cache entries.
+            if getattr(self._stages[dep], "passthrough", False):
+                parts.append(self._source_digest())
+            else:
+                parts.append(self._stage_fingerprint(dep))
+        fingerprint = digest_parts(*parts)
+        self._fingerprints[name] = fingerprint
+        return fingerprint
+
     # -- execution ----------------------------------------------------
 
     def seed(self, name: str, value: object) -> None:
@@ -129,10 +201,7 @@ class Pipeline:
         if not owner:
             return future.result()
         try:
-            item = self._stages[name]
-            for dep in item.deps:
-                self.get(dep)
-            value = item.run(self.context)
+            value = self._compute(self._stages[name])
         except BaseException as exc:
             with self._lock:
                 # Drop the future so a later call can retry; park the
@@ -144,21 +213,130 @@ class Pipeline:
         future.set_result(value)
         return value
 
+    def _resolve_deps(self, item: Stage) -> None:
+        for dep in item.deps:
+            self.get(dep)
+
+    def _compute(self, item: Stage) -> object:
+        """Run one stage, via the artifact store when one is attached.
+
+        The cache lookup happens *before* dependency resolution — keys
+        derive from fingerprints, not artifacts, so a warm run never
+        partitions, preprocesses, or even materializes upstream
+        artifacts nobody asked for.  Dependencies are resolved (and
+        thereby served from the store themselves, when possible) only
+        once this stage actually has to execute.
+        """
+        context = self.context
+        store = context.store
+        if store is None or not getattr(item, "cache", True):
+            self._resolve_deps(item)
+            return item.run(context)
+        key = self._stage_fingerprint(item.name)
+        status, value = store.load(key)
+        if status == "hit":
+            context.stats.record_hit(item.name)
+            return value
+        self._resolve_deps(item)
+        last = store.last_key(item.name)
+        context.stats.record_miss(
+            item.name,
+            invalidated=last is not None and last != key,
+            corrupt=status == "corrupt",
+        )
+        if isinstance(item, ShardStage):
+            value = self._run_shard_stage_cached(item)
+        else:
+            value = item.run(context)
+        store.store(key, value)
+        store.remember(item.name, key)
+        context.stats.published += 1
+        return value
+
+    def _run_shard_stage_cached(self, item: ShardStage) -> object:
+        """Map/reduce with per-shard caching.
+
+        Each shard's worker output is cached under the shard's content
+        fingerprint (plus stage token and environment), independent of
+        shard count or position — so after an append only the shards
+        whose records changed are re-mapped; everything else loads.
+        The merge always runs (it is cheap relative to the map and its
+        product is cached at the stage level by :meth:`_compute`).
+        """
+        context = self.context
+        store = context.store
+        assert store is not None
+        stats = context.stats
+        shards: list[Shard] = context.artifact(item.shards_artifact)  # type: ignore[assignment]
+        environment = self._environment()
+        keys = [
+            digest_parts(
+                "shard",
+                item.name,
+                getattr(item, "token", ""),
+                environment,
+                fingerprint_records(shard.records),
+            )
+            for shard in shards
+        ]
+        outputs: list[object] = [None] * len(shards)
+        hit_indices: list[int] = []
+        miss_indices: list[int] = []
+        for index, key in enumerate(keys):
+            status, value = store.load(key)
+            if status == "hit":
+                outputs[index] = value
+                hit_indices.append(index)
+            else:
+                if status == "corrupt":
+                    stats.corrupt += 1
+                last = store.last_key(f"{item.name}[{index}]")
+                if last is not None and last != key:
+                    stats.invalidations += 1
+                miss_indices.append(index)
+        if miss_indices:
+            computed = item.map_shards(
+                context, [shards[index] for index in miss_indices]
+            )
+            for index, value in zip(miss_indices, computed):
+                outputs[index] = value
+                store.store(keys[index], value)
+                store.remember(f"{item.name}[{index}]", keys[index])
+                stats.published += 1
+        stats.shard_hits[item.name] = hit_indices
+        stats.shard_misses[item.name] = miss_indices
+        return item.merge(outputs, context)
+
     def run(self, targets: Sequence[str] | None = None) -> dict[str, object]:
         """Compute ``targets`` (default: every stage) and return them.
 
         With ``config.jobs > 1``, independent stages execute
         concurrently on a thread pool; otherwise stages run
         sequentially in topological order.
+
+        Demand flows through :meth:`get`, so only targets are pulled
+        directly and a cached target never materializes its upstream
+        closure: with a store attached, the scheduler submits the
+        targets themselves (dependencies resolve recursively inside
+        ``get``, and only on a miss) instead of pre-planning the full
+        dependency closure.
         """
         wanted = tuple(targets) if targets is not None else self.order
-        needed = self._closure(wanted)
-        plan = [name for name in self.order if name in needed]
+        needed = self._closure(wanted)  # validates names, finds cycles early
         if self.context.config.jobs <= 1:
-            for name in plan:
+            for name in wanted:
                 self.get(name)
             return {name: self.context.artifacts[name] for name in wanted}
+        if self.context.store is not None:
+            plan = [name for name in self.order if name in set(wanted)]
+            with ThreadPoolExecutor(
+                max_workers=min(self.context.config.jobs, max(1, len(plan)))
+            ) as pool:
+                for future in [pool.submit(self.get, name) for name in plan]:
+                    future.result()  # re-raise stage errors
+            return {name: self.context.artifacts[name] for name in wanted}
 
+        plan = [name for name in self.order if name in needed]
         remaining = {
             name: {
                 dep

@@ -51,18 +51,33 @@ class Stage(Protocol):
 
 @dataclass(frozen=True)
 class FunctionStage:
-    """A stage defined by a plain function of the context."""
+    """A stage defined by a plain function of the context.
+
+    ``token`` is the stage's declared code/version tag for the
+    persistent artifact cache: bump it when the stage's semantics
+    change so previously cached artifacts stop matching.  ``cache``
+    opts a stage out of the store entirely (e.g. the shard partition,
+    which is execution plumbing rather than an analysis result).
+    ``passthrough`` marks a stage as a pure re-arrangement of the
+    record source (again, the shard partition): dependents fold the
+    *source* fingerprint into their keys instead of this stage's, so
+    sequential and sharded pipelines derive identical cache keys and
+    a cache written at ``--jobs 4`` serves a ``--jobs 1`` rerun.
+    """
 
     name: str
     fn: Callable[[PipelineContext], object]
     deps: tuple[str, ...] = ()
+    token: str = "1"
+    cache: bool = True
+    passthrough: bool = False
 
     def run(self, context: PipelineContext) -> object:
         return self.fn(context)
 
 
 def stage(
-    name: str, deps: tuple[str, ...] = ()
+    name: str, deps: tuple[str, ...] = (), token: str = "1"
 ) -> Callable[[Callable[[PipelineContext], object]], FunctionStage]:
     """Decorator sugar: turn a context function into a FunctionStage.
 
@@ -75,7 +90,7 @@ def stage(
     """
 
     def wrap(fn: Callable[[PipelineContext], object]) -> FunctionStage:
-        return FunctionStage(name=name, fn=fn, deps=deps)
+        return FunctionStage(name=name, fn=fn, deps=deps, token=token)
 
     return wrap
 
@@ -95,6 +110,9 @@ class ShardStage:
         deps: stage dependencies; must include ``shards_artifact``.
         shards_artifact: name of the upstream stage producing the
             ``list[Shard]`` partition.
+        token: declared code/version tag for the artifact cache; keys
+            both the merged artifact and the per-shard worker outputs.
+        cache: opt-out flag for the artifact cache.
     """
 
     name: str
@@ -102,13 +120,26 @@ class ShardStage:
     merge: Callable[[Sequence[object], PipelineContext], object]
     deps: tuple[str, ...] = ("shards",)
     shards_artifact: str = "shards"
+    token: str = "1"
+    cache: bool = True
 
     def run(self, context: PipelineContext) -> object:
         shards: list[Shard] = context.artifact(self.shards_artifact)  # type: ignore[assignment]
-        outputs = run_sharded(
+        outputs = self.map_shards(context, shards)
+        return self.merge(outputs, context)
+
+    def map_shards(
+        self, context: PipelineContext, shards: Sequence[Shard]
+    ) -> list[object]:
+        """Run the worker over ``shards`` on the configured executor.
+
+        Split out from :meth:`run` so the cache-aware runner can map
+        only the shards whose outputs were not found in the store and
+        still reuse the same executor policy.
+        """
+        return run_sharded(
             self.worker,
             [shard.records for shard in shards],
             jobs=context.config.jobs,
             executor=context.config.executor,
         )
-        return self.merge(outputs, context)

@@ -53,6 +53,7 @@ from .context import PipelineConfig, PipelineContext, RecordSource
 from .runner import Pipeline
 from .shard import partition_records
 from .stage import FunctionStage, ShardStage
+from .store import ArtifactStore
 
 #: Experiment phase -> measured directive (the paper's three
 #: treatment deployments; the base file is the control).
@@ -292,6 +293,8 @@ def build_study_pipeline(
     scenario,
     config: PipelineConfig | None = None,
     preprocessor: Preprocessor | None = None,
+    cache_dir: object = None,
+    no_cache: bool = False,
 ) -> Pipeline:
     """Assemble the full study-analysis pipeline.
 
@@ -304,17 +307,32 @@ def build_study_pipeline(
             preprocess path (default preprocessor only).
         preprocessor: custom preprocessing pipeline.  Custom instances
             always run in-process (they may hold unpicklable state), so
-            they force the sequential preprocess stage.
+            they force the sequential preprocess stage — and disable
+            the artifact cache, since arbitrary preprocessor state
+            cannot key it.
+        cache_dir: directory for the persistent
+            :class:`~repro.pipeline.store.ArtifactStore`; ``None``
+            (default) disables cross-run caching entirely.
+        no_cache: with ``cache_dir`` set, bypass cache *reads* while
+            still publishing fresh artifacts (a refresh mode).
     """
     config = config or PipelineConfig()
+    store = None
+    if cache_dir is not None and preprocessor is None:
+        store = ArtifactStore(cache_dir, read=not no_cache)
     context = PipelineContext(
         config=config,
         source=RecordSource.of(source),
         params={"scenario": scenario},
+        store=store,
     )
     stages: list = []
     if config.jobs > 1 and preprocessor is None:
-        stages.append(FunctionStage("shards", _partition_stage))
+        stages.append(
+            FunctionStage(
+                "shards", _partition_stage, cache=False, passthrough=True
+            )
+        )
         stages.append(
             ShardStage(
                 "preprocess",

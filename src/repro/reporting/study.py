@@ -70,6 +70,14 @@ class StudyAnalysis:
             sequential runs produce byte-identical artifacts.
         shard_by: hash-partition key, ``"site"`` or ``"ip"``.
         executor: shard backend (``process``/``thread``/``inline``).
+        cache_dir: directory for the persistent artifact store; when
+            set, stage artifacts are served from (and published to)
+            disk keyed by source/code fingerprints, so re-analyzing an
+            unchanged or append-grown corpus only reruns affected
+            stages.  ``None`` (default) keeps the legacy all-in-memory
+            behavior.
+        no_cache: bypass cache reads while still publishing — a
+            refresh that rebuilds the cache from scratch.
 
     .. deprecated-style note::
         The eagerly-cached-property implementation is gone; attributes
@@ -84,16 +92,20 @@ class StudyAnalysis:
         jobs: int = 1,
         shard_by: str = "site",
         executor: str = "process",
+        cache_dir: object = None,
+        no_cache: bool = False,
     ) -> None:
         self.dataset = dataset
         self.scenario = dataset.scenario
         self._pipeline = build_study_pipeline(
-            source=RecordSource.of(dataset.records),
+            source=dataset.source(),
             scenario=self.scenario,
             config=PipelineConfig(
                 jobs=jobs, shard_by=shard_by, executor=executor
             ),
             preprocessor=preprocessor,
+            cache_dir=cache_dir,
+            no_cache=no_cache,
         )
         self.records, self.preprocess_report = self._pipeline.get("preprocess")
 
@@ -106,6 +118,8 @@ class StudyAnalysis:
         jobs: int = 1,
         shard_by: str = "site",
         executor: str = "process",
+        cache_dir: object = None,
+        no_cache: bool = False,
     ) -> "StudyAnalysis":
         """Build an analysis straight from a streaming record source.
 
@@ -124,6 +138,8 @@ class StudyAnalysis:
                 jobs=jobs, shard_by=shard_by, executor=executor
             ),
             preprocessor=preprocessor,
+            cache_dir=cache_dir,
+            no_cache=no_cache,
         )
         analysis.records, analysis.preprocess_report = analysis._pipeline.get(
             "preprocess"
@@ -156,6 +172,30 @@ class StudyAnalysis:
 
     def _artifact(self, name: str):
         return self._ensure_pipeline().get(name)
+
+    @property
+    def cache_stats(self):
+        """Hit/miss/invalidation tallies for this analysis run.
+
+        All-zero when the analysis was built without a ``cache_dir``.
+        """
+        return self._ensure_pipeline().context.stats
+
+    def run_all(
+        self, experiment_ids: list[str] | None = None, jobs: int = 1
+    ) -> dict:
+        """Every experiment driver's result, keyed by experiment id.
+
+        Convenience wrapper over
+        :func:`repro.reporting.experiments.run_batch`; combined with
+        ``cache_dir``, a re-invocation on an unchanged corpus serves
+        every backing artifact from the store.
+        """
+        from .experiments import run_batch
+
+        return run_batch(
+            {"study": self}, experiment_ids=experiment_ids, jobs=jobs
+        )["study"]
 
     # -- slicing -----------------------------------------------------------
 

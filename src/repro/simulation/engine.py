@@ -42,6 +42,9 @@ class StudyDataset:
     scenario: StudyScenario
     n_bot_agents: int = 0
     n_spoof_agents: int = 0
+    #: Memoized RecordSource so the (streaming, chunked) content
+    #: fingerprint is computed at most once per dataset.
+    _source: object = field(default=None, init=False, repr=False, compare=False)
 
     def window(self, start: float, end: float) -> list[LogRecord]:
         """Records with ``start <= timestamp < end``."""
@@ -66,10 +69,26 @@ class StudyDataset:
     # -- pipeline ingestion hooks -------------------------------------
 
     def source(self):
-        """This dataset as a zero-copy pipeline record source."""
+        """This dataset as a zero-copy pipeline record source.
+
+        Memoized: repeated calls return the same
+        :class:`~repro.pipeline.context.RecordSource`, so the cache
+        fingerprint is computed once even when several analyses (or
+        ``run_batch`` studies) share one dataset.
+        """
         from ..pipeline.context import RecordSource
 
-        return RecordSource.of(self.records)
+        if self._source is None:
+            self._source = RecordSource.of(self.records)
+        return self._source
+
+    def fingerprint(self) -> str:
+        """Chunked content identity of the dataset's record stream.
+
+        The digest that keys this dataset's cached pipeline artifacts;
+        two datasets with byte-identical serialized records share it.
+        """
+        return self.source().fingerprint().digest
 
     def iter_shards(
         self, shards: int, shard_by: str = "site"

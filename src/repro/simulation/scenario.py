@@ -9,7 +9,7 @@ the §5.1 check-frequency analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import ScenarioError
 from ..robots.corpus import RobotsVersion, render_version

@@ -11,7 +11,7 @@ this parser exposes both so the registry can match either.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 _PRODUCT_RE = re.compile(r"([A-Za-z0-9._!#$%&'*+^`|~-]+)(?:/([\w.+-]*))?")
 

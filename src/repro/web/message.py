@@ -7,7 +7,7 @@ are epoch seconds on the simulation's virtual clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Reason phrases for the status codes the substrate emits.
 REASON_PHRASES: dict[int, str] = {

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.asn.database import AsnRegistry, default_asn_registry
+from repro.asn.database import default_asn_registry
 from repro.asn.whois import WhoisClient
 from repro.exceptions import ASNLookupError
 

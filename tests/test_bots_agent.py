@@ -1,7 +1,5 @@
 """Unit tests for the crawler agent and spoofed shadows."""
 
-import numpy as np
-
 from repro.bots.agent import BotAgent, agent_seed, _is_exempt
 from repro.bots.behavior import BotProfile, CheckPolicy, ComplianceProfile, NEVER_CHECKS
 from repro.bots.spoofer import build_spoof_agents, spoof_compliance_for

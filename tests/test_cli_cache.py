@@ -1,0 +1,121 @@
+"""Incremental-analysis flags through the CLI: --cache-dir, --no-cache,
+and the cache info/clear subcommand."""
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.logs.io import write_jsonl
+from repro.simulation import SimulationEngine, quick_scenario
+
+
+def _stats(err: str) -> tuple[int, int]:
+    """(hits, misses) parsed from the CLI's cache summary line."""
+    match = re.search(r"cache: (\d+) hit\(s\), (\d+) miss\(es\)", err)
+    assert match, err
+    return int(match.group(1)), int(match.group(2))
+
+
+@pytest.fixture(scope="module")
+def small_log(tmp_path_factory):
+    """A small simulated study written as JSONL."""
+    dataset = SimulationEngine(
+        scenario=quick_scenario(scale=0.05, seed=13), with_noise=False
+    ).run()
+    log = tmp_path_factory.mktemp("logs") / "study.jsonl"
+    write_jsonl(dataset.records, log)
+    return log
+
+
+class TestAnalyzeCacheFlags:
+    def test_second_run_serves_everything_from_cache(
+        self, small_log, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        argv = [
+            "analyze",
+            str(small_log),
+            "--cache-dir",
+            str(cache),
+            "--experiments",
+            "T5",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        hits, misses = _stats(cold.err)
+        assert hits == 0
+        assert misses > 0
+
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        hits, misses = _stats(warm.err)
+        assert misses == 0
+        assert hits > 0
+        # Identical rendered output, cold or cached.
+        assert warm.out == cold.out
+
+    def test_no_cache_bypasses_reads(self, small_log, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "analyze",
+            str(small_log),
+            "--cache-dir",
+            str(cache),
+            "--experiments",
+            "T5",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+
+        assert main(argv + ["--no-cache"]) == 0
+        refreshed = capsys.readouterr()
+        hits, misses = _stats(refreshed.err)
+        assert hits == 0
+        assert misses > 0
+        assert refreshed.out == cold.out
+
+        # The refresh republished, so a normal run is all hits again.
+        assert main(argv) == 0
+        hits, misses = _stats(capsys.readouterr().err)
+        assert misses == 0
+
+    def test_without_cache_dir_no_stats_line(self, small_log, capsys):
+        assert (
+            main(["analyze", str(small_log), "--experiments", "T5"]) == 0
+        )
+        assert "cache:" not in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    def test_info_and_clear(self, small_log, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(small_log),
+                    "--cache-dir",
+                    str(cache),
+                    "--experiments",
+                    "T5",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        entries = int(re.search(r"entries: (\d+)", out).group(1))
+        total = int(
+            re.search(r"bytes: ([\d,]+)", out).group(1).replace(",", "")
+        )
+        assert entries > 0
+        assert total > 0
+
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert f"removed {entries} artifact(s)" in capsys.readouterr().out
+
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        assert "entries: 0" in capsys.readouterr().out

@@ -12,7 +12,7 @@ batch entry points.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.robots.compiled import CompiledPolicy, CompiledRule, CompiledRuleSet
+from repro.robots.compiled import CompiledRule, CompiledRuleSet
 from repro.robots.corpus import (
     EXEMPT_SEO_BOTS,
     all_versions,

@@ -2,7 +2,6 @@
 
 from repro.robots.corpus import RobotsVersion, render_version
 from repro.robots.diff import (
-    AccessChange,
     diff_robots,
     render_diff,
 )
