@@ -1,0 +1,180 @@
+"""Peak-memory benchmark: columnar reducers vs the row-object path.
+
+The columnar backend's reason to exist is the memory profile of the
+hot aggregation stages: folding site traffic and grouping records per
+bot over row objects costs one Python object (plus boxed numerics) per
+record, while the batch path streams fixed-size column batches and
+keeps only per-group state.  This benchmark measures both paths with
+``tracemalloc`` over the same >= 100k-record corpus — after asserting
+the results are identical — and gates a >= 2x peak-memory advantage.
+
+Like the wall-clock benchmarks, the gate is advisory under ``CI=``
+(assertions print either way via ``-s``); unlike them it needs no
+core-count guard, since peak memory is deterministic.
+"""
+
+import gc
+import os
+import tracemalloc
+
+from repro.analysis.columnar import (
+    SiteTraffic,
+    group_by_bot,
+    site_traffic_batches,
+)
+from repro.analysis.compliance import (
+    checked_robots,
+    crawl_delay_sample,
+    endpoint_sample,
+)
+from repro.logs.columnar import iter_batches
+from repro.logs.preprocess import records_by_bot
+from repro.logs.schema import LogRecord
+
+#: Minimum acceptable row-peak / batch-peak ratio.
+MIN_MEMORY_RATIO = 2.0
+
+ENFORCE_RATIO = not os.environ.get("CI")
+
+#: Corpus size — large enough that per-record costs dominate fixture
+#: overhead (the acceptance floor is 100k records).
+CORPUS_RECORDS = 120_000
+
+_SITES = tuple(f"dept-{i:02d}.university.edu" for i in range(16))
+_BOTS = (
+    ("GPTBot", "Mozilla/5.0 (compatible; GPTBot/1.2)"),
+    ("ClaudeBot", "Mozilla/5.0 (compatible; ClaudeBot/1.0)"),
+    ("Googlebot", "Mozilla/5.0 (compatible; Googlebot/2.1)"),
+    ("Bytespider", "Mozilla/5.0 (compatible; Bytespider)"),
+    ("CCBot", "CCBot/2.0 (https://commoncrawl.org/faq/)"),
+)
+_BROWSER_UA = "Mozilla/5.0 (X11; Linux x86_64) Gecko/20100101 Firefox/115.0"
+_PATHS = ("/", "/robots.txt", "/people/faculty", "/page-data/chunk-1", "/news/")
+_BASE = 1_735_689_600.0
+
+
+def generate_corpus(count: int = CORPUS_RECORDS):
+    """Yield ``count`` enriched records (about 30% known bots).
+
+    A generator on purpose: the batch path must be measurable without
+    the whole corpus ever existing as row objects.
+    """
+    for index in range(count):
+        known = index % 10 < 3
+        bot_name, useragent = (
+            _BOTS[index % len(_BOTS)] if known else (None, _BROWSER_UA)
+        )
+        yield LogRecord(
+            useragent=useragent,
+            timestamp=_BASE + (index * 7919) % 600_000 / 2.0,
+            ip_hash=f"ip-{index % 97:04x}",
+            asn=15169 + index % 11,
+            sitename=_SITES[index % len(_SITES)],
+            uri_path=_PATHS[index % len(_PATHS)],
+            status_code=200,
+            bytes_sent=500 + index % 1000,
+            referer=None,
+            bot_name=bot_name,
+        )
+
+
+def _row_site_traffic(records) -> dict[str, SiteTraffic]:
+    """The pre-columnar ``site_traffic`` stage loop, verbatim."""
+    visits: dict[str, int] = {}
+    bot_visits: dict[str, int] = {}
+    bots: dict[str, set[str]] = {}
+    robots: dict[str, int] = {}
+    sent: dict[str, int] = {}
+    for record in records:
+        site = record.sitename
+        visits[site] = visits.get(site, 0) + 1
+        sent[site] = sent.get(site, 0) + record.bytes_sent
+        if record.bot_name is not None:
+            bot_visits[site] = bot_visits.get(site, 0) + 1
+            bots.setdefault(site, set()).add(record.bot_name)
+        if record.is_robots_fetch:
+            robots[site] = robots.get(site, 0) + 1
+    return {
+        site: SiteTraffic(
+            site=site,
+            visits=visits[site],
+            known_bot_visits=bot_visits.get(site, 0),
+            unique_bots=len(bots.get(site, ())),
+            robots_fetches=robots.get(site, 0),
+            bytes_sent=sent[site],
+        )
+        for site in sorted(visits)
+    }
+
+
+def _per_bot_metrics(groups) -> dict[str, tuple]:
+    """The per-bot reductions, shape-agnostic: ``groups`` maps bot name
+    to either a record list or a RecordBatch (compliance dispatches)."""
+    return {
+        name: (
+            crawl_delay_sample(group),
+            endpoint_sample(group),
+            checked_robots(group),
+            len(group),
+        )
+        for name, group in groups.items()
+    }
+
+
+def _run_row_path():
+    """Materialize rows (as ``RecordSource.materialize`` would), then
+    run the row-object site-traffic fold and per-bot grouping."""
+    records = list(generate_corpus())
+    traffic = _row_site_traffic(records)
+    metrics = _per_bot_metrics(records_by_bot(records))
+    return traffic, metrics
+
+
+def _run_batch_path():
+    """Stream column batches; no full-corpus row materialization."""
+    traffic = site_traffic_batches(iter_batches(generate_corpus()))
+    metrics = _per_bot_metrics(group_by_bot(iter_batches(generate_corpus())))
+    return traffic, metrics
+
+
+def _peak_bytes(fn):
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def test_columnar_reducers_peak_memory(bench_timings):
+    (row_traffic, row_metrics), row_peak = _peak_bytes(_run_row_path)
+    (batch_traffic, batch_metrics), batch_peak = _peak_bytes(_run_batch_path)
+
+    # Parity first: a memory win over different answers is worthless.
+    assert batch_traffic == row_traffic
+    assert batch_metrics == row_metrics
+
+    ratio = row_peak / batch_peak
+    gate = "enforced" if ENFORCE_RATIO else "advisory (CI)"
+    print(
+        f"\ncolumnar memory: rows {row_peak / 1e6:.1f} MB peak, "
+        f"batches {batch_peak / 1e6:.1f} MB peak, "
+        f"ratio {ratio:.2f}x over {CORPUS_RECORDS:,} records [{gate}]"
+    )
+    bench_timings(
+        "columnar_reducers_peak_memory",
+        records=CORPUS_RECORDS,
+        row_peak_bytes=row_peak,
+        batch_peak_bytes=batch_peak,
+        ratio=round(ratio, 3),
+        min_ratio=MIN_MEMORY_RATIO,
+        enforced=ENFORCE_RATIO,
+    )
+    if ENFORCE_RATIO:
+        assert ratio >= MIN_MEMORY_RATIO, (
+            f"columnar path peaked at {batch_peak / 1e6:.1f} MB vs "
+            f"{row_peak / 1e6:.1f} MB for rows — ratio {ratio:.2f}x is "
+            f"below the {MIN_MEMORY_RATIO}x gate"
+        )

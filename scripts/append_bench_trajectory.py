@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Append one commit's benchmark artifact to BENCH_TRAJECTORY.jsonl.
+
+The CI benchmark step writes a ``BENCH_<sha>.json`` payload (see
+``benchmarks/conftest.py``); this script compacts it to a single JSONL
+line and appends it to the committed trajectory file, so the repo
+carries its own performance history — one line per commit, greppable
+and plottable without touching the GitHub artifacts API.
+
+Usage::
+
+    python scripts/append_bench_trajectory.py BENCH_<sha>.json \
+        [--trajectory BENCH_TRAJECTORY.jsonl]
+
+Appending is idempotent per sha: re-running on a commit that is
+already recorded is a no-op (exit 0), so workflow retries never
+duplicate lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Metrics kept per pytest-benchmark entry (speedup/memory entries are
+#: hand-rolled and already compact, so they are kept whole).
+_STAT_KEYS = ("mean", "min", "median", "rounds")
+
+
+def compact_entry(entry: dict) -> dict:
+    if entry.get("kind") != "pytest-benchmark":
+        return dict(entry)
+    kept = {"name": entry.get("name"), "kind": "pytest-benchmark"}
+    for key in _STAT_KEYS:
+        if isinstance(entry.get(key), (int, float)):
+            kept[key] = entry[key]
+    return kept
+
+
+def trajectory_line(payload: dict, recorded: str) -> dict:
+    return {
+        "schema": payload.get("schema", 1),
+        "sha": payload.get("sha", ""),
+        "recorded": recorded,
+        "python": payload.get("python", ""),
+        "scale": payload.get("scale"),
+        "seed": payload.get("seed"),
+        "entries": [
+            compact_entry(entry) for entry in payload.get("entries", [])
+        ],
+    }
+
+
+def recorded_shas(trajectory: Path) -> set[str]:
+    shas: set[str] = set()
+    if not trajectory.is_file():
+        return shas
+    for line in trajectory.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            shas.add(json.loads(line).get("sha", ""))
+        except json.JSONDecodeError:
+            continue
+    return shas
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", type=Path, help="BENCH_<sha>.json payload")
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=Path("BENCH_TRAJECTORY.jsonl"),
+        help="trajectory file to append to (default: ./BENCH_TRAJECTORY.jsonl)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.artifact.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.artifact}: {exc}", file=sys.stderr)
+        return 1
+
+    sha = payload.get("sha", "")
+    if sha and sha in recorded_shas(args.trajectory):
+        print(f"sha {sha[:12]} already recorded; nothing to do")
+        return 0
+
+    recorded = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    line = trajectory_line(payload, recorded)
+    with open(args.trajectory, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True, separators=(",", ":")))
+        handle.write("\n")
+    print(
+        f"appended {len(line['entries'])} entr(ies) for sha "
+        f"{sha[:12] or '(local)'} to {args.trajectory}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

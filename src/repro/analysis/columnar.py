@@ -1,0 +1,189 @@
+"""Columnar reducers for the pipeline's hot aggregation stages.
+
+The site-traffic tally and the per-bot compliance metrics dominate the
+pipeline's memory profile when computed over row objects: grouping
+materializes one list of records per key, so peak memory is O(corpus).
+The reducers here fold :class:`~repro.logs.columnar.RecordBatch`
+streams instead, keeping only per-group counters (site traffic) or
+per-group scalar columns (tau timestamp lists), so peak live state is
+O(sites + bots) — the property the columnar memory benchmark
+(``benchmarks/test_columnar_bench.py``) gates.
+
+Every reducer is the exact semantic twin of its row-based counterpart:
+``site_traffic_batches`` == the row loop in the ``site_traffic`` stage,
+``crawl_delay_sample_batch`` == :func:`repro.analysis.compliance.
+crawl_delay_sample`, and so on.  The compliance functions dispatch here
+automatically when handed a batch, which is what lets row-typed callers
+like :func:`repro.analysis.checkfreq.skipped_check_rows` consume batch
+groups unchanged.  Byte-identical parity with the row path is
+property-tested in ``tests/test_columnar_parity.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..logs.columnar import RecordBatch
+from ..logs.schema import is_robots_path
+from ..robots.corpus import V1_CRAWL_DELAY_SECONDS, V2_ALLOWED_ENDPOINT
+from .stats import ProportionSample
+
+#: Prefix form of the v2 allowed endpoint (strip the trailing ``*``;
+#: same derivation as :data:`repro.analysis.compliance._ENDPOINT_PREFIX`).
+_ENDPOINT_PREFIX = V2_ALLOWED_ENDPOINT.rstrip("*")
+
+
+# -- site-level tallies ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SiteTraffic:
+    """Per-site traffic tallies over the preprocessed corpus.
+
+    The multi-site substrate for observatory-style batch reporting:
+    how much traffic, how many distinct known bots, how many robots.txt
+    probes and bytes each site saw.
+    """
+
+    site: str
+    visits: int
+    known_bot_visits: int
+    unique_bots: int
+    robots_fetches: int
+    bytes_sent: int
+
+
+def site_traffic_batches(
+    batches: Iterable[RecordBatch],
+) -> dict[str, SiteTraffic]:
+    """Fold a batch stream into per-site traffic tallies.
+
+    One pass, reading four columns; live state is one counter set per
+    site plus one bot-name set per site — never a record list.
+    """
+    visits: dict[str, int] = {}
+    bot_visits: dict[str, int] = {}
+    bots: dict[str, set[str]] = {}
+    robots: dict[str, int] = {}
+    sent: dict[str, int] = {}
+    for batch in batches:
+        sites = batch.column("sitename")
+        sizes = batch.column("bytes")
+        names = batch.column("bot_name")
+        paths = batch.column("uri_path")
+        for row in range(len(batch)):
+            site = sites[row]
+            visits[site] = visits.get(site, 0) + 1
+            sent[site] = sent.get(site, 0) + sizes[row]
+            if names[row] is not None:
+                bot_visits[site] = bot_visits.get(site, 0) + 1
+                bots.setdefault(site, set()).add(names[row])
+            if is_robots_path(paths[row]):
+                robots[site] = robots.get(site, 0) + 1
+    return {
+        site: SiteTraffic(
+            site=site,
+            visits=visits[site],
+            known_bot_visits=bot_visits.get(site, 0),
+            unique_bots=len(bots.get(site, ())),
+            robots_fetches=robots.get(site, 0),
+            bytes_sent=sent[site],
+        )
+        for site in sorted(visits)
+    }
+
+
+# -- grouping -------------------------------------------------------------
+
+
+def group_by_bot(batches: Iterable[RecordBatch]) -> dict[str, RecordBatch]:
+    """Group a batch stream by standardized bot name, columnar-wise.
+
+    The columnar twin of :func:`repro.logs.preprocess.records_by_bot`:
+    unknowns (``bot_name is None``) are excluded, each group preserves
+    stream order, and groups appear in first-seen order.  No row
+    objects are materialized — each group is itself a batch, which the
+    compliance metrics consume directly via their batch dispatch.
+    """
+    grouped: dict[str, RecordBatch] = {}
+    for batch in batches:
+        names = batch.column("bot_name")
+        buckets: dict[str, list[int]] = {}
+        for row, name in enumerate(names):
+            if name is not None:
+                buckets.setdefault(name, []).append(row)
+        for name, rows in buckets.items():
+            gathered = batch.take(rows)
+            existing = grouped.get(name)
+            if existing is None:
+                grouped[name] = gathered
+            else:
+                existing.extend(gathered)
+    return grouped
+
+
+# -- compliance metrics (§4.2), columnar ----------------------------------
+
+
+def tau_timestamps(batch: RecordBatch) -> dict[tuple[int, str, str], list[float]]:
+    """Per requester tuple tau = (ASN, IP hash, UA), the sorted access
+    timestamps — all the crawl-delay metric needs from a tau group.
+
+    The row path sorts whole records by timestamp (a stable sort, so
+    equal-timestamp records keep arrival order); deltas depend only on
+    the sorted timestamp sequence, so sorting bare floats is exact.
+    """
+    groups: dict[tuple[int, str, str], list[float]] = {}
+    asns = batch.column("asn")
+    ips = batch.column("ip_hash")
+    agents = batch.column("useragent")
+    times = batch.column("timestamp")
+    for row in range(len(batch)):
+        key = (asns[row], ips[row], agents[row])
+        groups.setdefault(key, []).append(times[row])
+    for timestamps in groups.values():
+        timestamps.sort()
+    return groups
+
+
+def crawl_delay_sample_batch(
+    batch: RecordBatch,
+    threshold_seconds: float = V1_CRAWL_DELAY_SECONDS,
+) -> ProportionSample:
+    """Columnar crawl-delay compliance (single-access tuples count as
+    one compliant delta, per the paper)."""
+    compliant = 0
+    total = 0
+    for timestamps in tau_timestamps(batch).values():
+        if len(timestamps) == 1:
+            compliant += 1
+            total += 1
+            continue
+        for earlier, later in zip(timestamps, timestamps[1:]):
+            total += 1
+            if later - earlier >= threshold_seconds:
+                compliant += 1
+    return ProportionSample(successes=compliant, trials=total)
+
+
+def endpoint_sample_batch(batch: RecordBatch) -> ProportionSample:
+    """Columnar endpoint-access compliance (robots.txt or /page-data)."""
+    compliant = 0
+    for path in batch.column("uri_path"):
+        if is_robots_path(path) or path.startswith(_ENDPOINT_PREFIX):
+            compliant += 1
+    return ProportionSample(successes=compliant, trials=len(batch))
+
+
+def disallow_sample_batch(batch: RecordBatch) -> ProportionSample:
+    """Columnar disallow-all compliance (robots.txt only)."""
+    compliant = sum(
+        1 for path in batch.column("uri_path") if is_robots_path(path)
+    )
+    return ProportionSample(successes=compliant, trials=len(batch))
+
+
+def checked_robots_batch(batch: RecordBatch) -> bool:
+    """Columnar "did this bot ever fetch robots.txt" (Table 7)."""
+    return any(is_robots_path(path) for path in batch.column("uri_path"))

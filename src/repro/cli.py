@@ -3,10 +3,15 @@
 Subcommands:
 
 ``simulate``
-    Run the study simulation and write the raw log (JSONL or CSV).
+    Run the study simulation and write the raw log (JSONL, CSV, or —
+    with the ``[parquet]`` extra — Parquet).
 ``analyze``
     Run the full analysis over a previously simulated (or real) log
     and print selected tables/figures.
+``convert``
+    Stream-convert a log between formats (jsonl/csv/clf/parquet) with
+    bounded memory; the converted corpus fingerprints identically, so
+    it hits the same cached artifacts.
 ``report``
     Simulate + analyze in one step and print every artifact.
 ``robots``
@@ -15,8 +20,10 @@ Subcommands:
 ``versions``
     Print the paper's four experimental robots.txt files.
 ``cache``
-    Inspect (``info``) or empty (``clear``) an incremental-analysis
-    artifact cache created with ``--cache-dir``.
+    Inspect (``info``, ``--verbose`` for a per-stage breakdown), empty
+    (``clear``), or LRU-evict down to a byte budget (``prune
+    --max-bytes N``) an incremental-analysis artifact cache created
+    with ``--cache-dir``.
 
 Incremental analysis: ``analyze``/``report`` accept ``--cache-dir`` to
 persist stage artifacts between runs.  Cached artifacts are keyed by a
@@ -35,7 +42,18 @@ import sys
 from pathlib import Path
 
 from . import __version__
-from .logs.io import read_clf, read_csv, read_jsonl, write_csv, write_jsonl
+from .exceptions import MissingDependencyError
+from .logs.io import (
+    LOG_FORMATS,
+    convert_log,
+    read_batches,
+    read_clf,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from .pipeline.context import RecordSource
 from .reporting.experiments import EXPERIMENTS, run_all, run_experiment
 from .reporting.study import StudyAnalysis
 from .robots.corpus import all_versions, render_version
@@ -63,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=2025)
     simulate.add_argument("--output", type=Path, required=True)
     simulate.add_argument(
-        "--format", choices=("jsonl", "csv"), default="jsonl"
+        "--format", choices=("jsonl", "csv", "parquet"), default="jsonl"
     )
     simulate.add_argument("--no-noise", action="store_true")
     simulate.add_argument("--no-spoofing", action="store_true")
@@ -73,9 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=2025)
     analyze.add_argument(
         "--format",
-        choices=("jsonl", "csv", "clf"),
+        choices=LOG_FORMATS,
         default="jsonl",
-        help="log format: pipeline-native jsonl/csv, or Apache combined (clf)",
+        help=(
+            "log format: pipeline-native jsonl/csv, Apache combined "
+            "(clf), or columnar parquet (requires the [parquet] extra)"
+        ),
     )
     analyze.add_argument(
         "--site",
@@ -116,6 +137,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--experiments", nargs="*", default=None, metavar="ID")
     _add_cache_options(report)
 
+    convert = commands.add_parser(
+        "convert", help="stream-convert a log between storage formats"
+    )
+    convert.add_argument("source", type=Path)
+    convert.add_argument("target", type=Path)
+    convert.add_argument(
+        "--from",
+        dest="source_format",
+        choices=LOG_FORMATS,
+        default="jsonl",
+        help="source log format",
+    )
+    convert.add_argument(
+        "--to",
+        dest="target_format",
+        choices=LOG_FORMATS,
+        default="parquet",
+        help="target log format",
+    )
+    convert.add_argument(
+        "--site",
+        default="",
+        help="sitename stamped on CLF records (CLF has no Host column)",
+    )
+    convert.add_argument(
+        "--asn", type=int, default=0, help="ASN stamped on CLF records"
+    )
+
     robots = commands.add_parser("robots", help="inspect a robots.txt file")
     robots.add_argument("file", type=Path)
     robots.add_argument("--agent", default="*", help="user-agent token to test")
@@ -141,14 +190,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "action",
-        choices=("info", "clear"),
-        help="info: entry count and footprint; clear: delete all artifacts",
+        choices=("info", "clear", "prune"),
+        help=(
+            "info: entry count and footprint; clear: delete all "
+            "artifacts; prune: LRU-evict down to --max-bytes"
+        ),
     )
     cache.add_argument(
         "--cache-dir",
         type=Path,
         required=True,
         help="artifact store directory (as passed to analyze/report)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune: evict least-recently-used artifacts until the "
+        "store is at most this many bytes",
+    )
+    cache.add_argument(
+        "--verbose",
+        action="store_true",
+        help="info: break the footprint down per pipeline stage",
     )
 
     commands.add_parser("versions", help="print the paper's four robots.txt files")
@@ -181,7 +245,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         with_noise=not args.no_noise,
         with_spoofing=not args.no_spoofing,
     )
-    writer = write_csv if args.format == "csv" else write_jsonl
+    if args.format == "parquet":
+        from .logs.parquet import write_parquet_records as writer
+    elif args.format == "csv":
+        writer = write_csv
+    else:
+        writer = write_jsonl
     count = writer(dataset.records, args.output)
     print(
         f"wrote {count:,} records from {dataset.n_bot_agents} bots "
@@ -203,7 +272,16 @@ def _print_experiments(analysis: StudyAnalysis, wanted: list[str] | None) -> int
 
 
 def _record_reader(args: argparse.Namespace):
-    """A replayable record-stream factory for the chosen log format."""
+    """A replayable pipeline source for the chosen log format.
+
+    Parquet logs become batch-backed sources — the analysis pipeline
+    partitions and fingerprints them columnar-wise, straight off the
+    row groups; text formats stream row objects as before.
+    """
+    if args.format == "parquet":
+        return RecordSource.of_batches(
+            lambda: read_batches(args.log, format="parquet")
+        )
     if args.format == "csv":
         return lambda: read_csv(args.log)
     if args.format == "clf":
@@ -253,6 +331,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    count = convert_log(
+        args.source,
+        args.target,
+        source_format=args.source_format,
+        target_format=args.target_format,
+        sitename=args.site,
+        asn=args.asn,
+    )
+    print(
+        f"converted {count:,} records: {args.source} ({args.source_format}) "
+        f"-> {args.target} ({args.target_format})"
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .pipeline.store import ArtifactStore
 
@@ -261,10 +355,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} artifact(s) from {args.cache_dir}")
         return 0
-    details = store.info()
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print("cache prune requires --max-bytes", file=sys.stderr)
+            return 2
+        result = store.prune(args.max_bytes)
+        print(
+            f"pruned {result.removed} artifact(s), freed "
+            f"{result.freed_bytes:,} bytes; {result.kept_entries} "
+            f"entries / {result.kept_bytes:,} bytes remain"
+        )
+        return 0
+    details = store.info(verbose=args.verbose)
     print(f"cache: {details.path}")
     print(f"entries: {details.entries}")
     print(f"bytes: {details.total_bytes:,}")
+    if details.stages:
+        print("stages:")
+        by_size = sorted(
+            details.stages.items(), key=lambda item: (-item[1][1], item[0])
+        )
+        for stage, (entries, stage_bytes) in by_size:
+            print(f"  {stage}: {entries} entries, {stage_bytes:,} bytes")
     return 0
 
 
@@ -324,6 +436,7 @@ def _cmd_versions(_args: argparse.Namespace) -> int:
 _HANDLERS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
+    "convert": _cmd_convert,
     "report": _cmd_report,
     "robots": _cmd_robots,
     "diff": _cmd_diff,
@@ -335,7 +448,11 @@ _HANDLERS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except MissingDependencyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -39,6 +39,14 @@ class LogSchemaError(ReproError):
     """A log record or log file did not conform to the expected schema."""
 
 
+class MissingDependencyError(ReproError):
+    """An optional dependency is required for the requested operation.
+
+    Raised with an actionable message naming the pip extra to install
+    (e.g. ``pip install repro-robots-study[parquet]`` for pyarrow).
+    """
+
+
 class SimulationError(ReproError):
     """The simulation engine was misconfigured or reached a bad state."""
 

@@ -1,0 +1,269 @@
+"""Struct-of-arrays record batches: the pipeline's columnar backend.
+
+The paper's analysis is embarrassingly columnar — every reducer reads a
+handful of fields (§3.1's column list, §4.2's requester tuples) across
+many records — yet row objects cost one Python object plus boxed
+numerics per record.  A :class:`RecordBatch` stores one contiguous
+container per schema column instead: stdlib ``array`` for numeric
+columns (8 raw bytes per value, no boxing) and plain lists for string
+columns, with the layout derived from
+:data:`repro.logs.schema.COLUMN_SPECS`.
+
+Batches flow through the whole data path: the IO layer reads and
+writes them (:mod:`repro.logs.io`, plus the optional Parquet codec in
+:mod:`repro.logs.parquet`), :class:`~repro.pipeline.context.RecordSource`
+streams them, the shard partitioner gathers them by key column without
+materializing rows, and the hot reducers
+(:mod:`repro.analysis.columnar`) fold them with O(groups) live state.
+Row objects remain available everywhere as thin views —
+:meth:`RecordBatch.row` / :meth:`RecordBatch.rows` materialize
+:class:`~repro.logs.schema.LogRecord` objects on demand — and the
+columnar == row parity is property-tested byte-for-byte.
+
+This core is stdlib-only; ``pyarrow`` is an optional extra used only by
+the Parquet codec.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import LogSchemaError
+from ..uaparse.categories import BotCategory
+from .schema import COLUMN_SPECS, LogRecord
+
+#: Default records per batch for streaming readers and sources.  Large
+#: enough to amortize per-batch overhead, small enough that one live
+#: batch is megabyte-scale even with long user-agent strings.
+DEFAULT_BATCH_RECORDS = 4096
+
+#: array typecodes per column kind ("str"/"str?" columns use lists).
+_TYPECODES = {"f64": "d", "i64": "q"}
+
+#: Serialized column name -> ColumnSpec, for O(1) lookups.
+_SPEC_BY_NAME = {spec.name: spec for spec in COLUMN_SPECS}
+
+
+def _empty_column(kind: str) -> "array | list":
+    code = _TYPECODES.get(kind)
+    return array(code) if code else []
+
+
+class RecordBatch:
+    """A struct-of-arrays batch of log records.
+
+    One container per schema column, all the same length, keyed by the
+    column's *serialized* name (``"bytes"``, not ``bytes_sent``).  The
+    ``bot_category`` column holds Dark Visitors labels (strings), not
+    enum members — enums are materialized only on the row view, keeping
+    the column a flat, picklable, Parquet-compatible string column.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: dict[str, "array | list"] | None = None) -> None:
+        if columns is None:
+            columns = {
+                spec.name: _empty_column(spec.kind) for spec in COLUMN_SPECS
+            }
+        self._columns = columns
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[LogRecord]) -> "RecordBatch":
+        """Pack row objects into a batch (the row -> columnar converter)."""
+        batch = cls()
+        batch.extend_records(records)
+        return batch
+
+    @classmethod
+    def from_columns(
+        cls, columns: Mapping[str, Sequence[object]]
+    ) -> "RecordBatch":
+        """Build a batch from per-column value sequences.
+
+        Numeric columns are coerced into ``array`` storage; lengths
+        must agree across columns and every schema column must be
+        present.
+
+        Raises:
+            LogSchemaError: on a missing column or ragged lengths.
+        """
+        packed: dict[str, "array | list"] = {}
+        length: int | None = None
+        for spec in COLUMN_SPECS:
+            try:
+                values = columns[spec.name]
+            except KeyError:
+                raise LogSchemaError(
+                    f"batch is missing column {spec.name!r}"
+                ) from None
+            code = _TYPECODES.get(spec.kind)
+            column = array(code, values) if code else list(values)
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise LogSchemaError(
+                    f"ragged batch: column {spec.name!r} has "
+                    f"{len(column)} values, expected {length}"
+                )
+            packed[spec.name] = column
+        return cls(packed)
+
+    def append(self, record: LogRecord) -> None:
+        """Append one row object's values column-wise."""
+        columns = self._columns
+        columns["useragent"].append(record.useragent)
+        columns["timestamp"].append(record.timestamp)
+        columns["ip_hash"].append(record.ip_hash)
+        columns["asn"].append(record.asn)
+        columns["sitename"].append(record.sitename)
+        columns["uri_path"].append(record.uri_path)
+        columns["status_code"].append(record.status_code)
+        columns["bytes"].append(record.bytes_sent)
+        columns["referer"].append(record.referer)
+        columns["bot_name"].append(record.bot_name)
+        columns["bot_category"].append(
+            record.bot_category.value if record.bot_category else None
+        )
+        columns["asn_name"].append(record.asn_name)
+
+    def extend_records(self, records: Iterable[LogRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def extend(self, other: "RecordBatch") -> None:
+        """Concatenate another batch's columns onto this one."""
+        for name, column in self._columns.items():
+            column.extend(other._columns[name])
+
+    # -- shape ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns["timestamp"])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def column(self, name: str) -> "array | list":
+        """One column's container by serialized name (zero-copy)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise LogSchemaError(f"unknown column {name!r}") from None
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """Rows ``start:stop`` as a new batch (columns are copied)."""
+        return RecordBatch(
+            {name: column[start:stop] for name, column in self._columns.items()}
+        )
+
+    def take(self, positions: Sequence[int]) -> "RecordBatch":
+        """Gather the given row positions into a new batch, in order."""
+        out: dict[str, "array | list"] = {}
+        for spec in COLUMN_SPECS:
+            column = self._columns[spec.name]
+            gathered = [column[position] for position in positions]
+            code = _TYPECODES.get(spec.kind)
+            out[spec.name] = array(code, gathered) if code else gathered
+        return RecordBatch(out)
+
+    # -- row views -----------------------------------------------------
+
+    def row(self, index: int) -> LogRecord:
+        """Materialize one row as a :class:`LogRecord` (thin view)."""
+        columns = self._columns
+        label = columns["bot_category"][index]
+        return LogRecord(
+            useragent=columns["useragent"][index],
+            timestamp=columns["timestamp"][index],
+            ip_hash=columns["ip_hash"][index],
+            asn=columns["asn"][index],
+            sitename=columns["sitename"][index],
+            uri_path=columns["uri_path"][index],
+            status_code=columns["status_code"][index],
+            bytes_sent=columns["bytes"][index],
+            referer=columns["referer"][index],
+            bot_name=columns["bot_name"][index],
+            bot_category=BotCategory.from_label(label) if label else None,
+            asn_name=columns["asn_name"][index],
+        )
+
+    def rows(self) -> Iterator[LogRecord]:
+        """Lazily materialize every row (one live object at a time)."""
+        for index in range(len(self)):
+            yield self.row(index)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return self.rows()
+
+    def to_records(self) -> list[LogRecord]:
+        """The columnar -> row converter (materializes everything)."""
+        return list(self.rows())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordBatch):
+            return NotImplemented
+        return all(
+            list(self._columns[spec.name]) == list(other._columns[spec.name])
+            for spec in COLUMN_SPECS
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordBatch(records={len(self)})"
+
+
+def iter_batches(
+    records: Iterable[LogRecord], batch_records: int = DEFAULT_BATCH_RECORDS
+) -> Iterator[RecordBatch]:
+    """Chunk a record iterable into batches of ``batch_records`` rows."""
+    if batch_records < 1:
+        raise LogSchemaError(
+            f"batch_records must be >= 1, got {batch_records}"
+        )
+    batch = RecordBatch()
+    for record in records:
+        batch.append(record)
+        if len(batch) == batch_records:
+            yield batch
+            batch = RecordBatch()
+    if batch:
+        yield batch
+
+
+def rows_of(batches: Iterable[RecordBatch]) -> Iterator[LogRecord]:
+    """Flatten a batch stream into a lazy row stream (thin view)."""
+    for batch in batches:
+        yield from batch.rows()
+
+
+def rechunk(
+    batches: Iterable[RecordBatch],
+    batch_records: int = DEFAULT_BATCH_RECORDS,
+) -> Iterator[RecordBatch]:
+    """Re-slice a batch stream to exactly ``batch_records`` rows per
+    batch (last one partial) without materializing rows.
+
+    The fingerprinting layer uses this so chunk boundaries — and hence
+    cache keys — are independent of how the source happened to batch
+    its records.
+    """
+    if batch_records < 1:
+        raise LogSchemaError(
+            f"batch_records must be >= 1, got {batch_records}"
+        )
+    pending = RecordBatch()
+    for batch in batches:
+        if not len(batch):
+            continue
+        if not len(pending) and len(batch) == batch_records:
+            yield batch  # already exactly sized: pass through untouched
+            continue
+        pending.extend(batch)
+        while len(pending) >= batch_records:
+            yield pending.slice(0, batch_records)
+            pending = pending.slice(batch_records, len(pending))
+    if len(pending):
+        yield pending

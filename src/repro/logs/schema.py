@@ -11,8 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import datetime, timezone
+from typing import TYPE_CHECKING
 
 from ..uaparse.categories import BotCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from collections.abc import Iterable
+
+    from .columnar import RecordBatch
 
 
 def to_iso8601(epoch: float) -> str:
@@ -27,6 +33,19 @@ def to_iso8601(epoch: float) -> str:
 def from_iso8601(text: str) -> float:
     """Parse an ISO-8601 timestamp back to epoch seconds."""
     return datetime.fromisoformat(text.replace("Z", "+00:00")).timestamp()
+
+
+def is_robots_path(path: str) -> bool:
+    """Whether a URI path targets ``/robots.txt`` (query string ignored).
+
+    The single predicate behind :attr:`LogRecord.is_robots_fetch` and
+    the columnar reducers, so row and batch paths can never disagree on
+    what counts as a robots.txt probe.
+    """
+    question = path.find("?")
+    if question >= 0:
+        path = path[:question]
+    return path == "/robots.txt"
 
 
 @dataclass(slots=True)
@@ -71,11 +90,7 @@ class LogRecord:
     @property
     def is_robots_fetch(self) -> bool:
         """True when this access targets ``/robots.txt``."""
-        path = self.uri_path
-        question = path.find("?")
-        if question >= 0:
-            path = path[:question]
-        return path == "/robots.txt"
+        return is_robots_path(self.uri_path)
 
     @property
     def url(self) -> str:
@@ -123,18 +138,73 @@ class LogRecord:
         )
 
 
-#: Column order for CSV serialization.
-CSV_COLUMNS: tuple[str, ...] = (
-    "useragent",
-    "timestamp",
-    "ip_hash",
-    "asn",
-    "sitename",
-    "uri_path",
-    "status_code",
-    "bytes",
-    "referer",
-    "bot_name",
-    "bot_category",
-    "asn_name",
+# -- the column registry -------------------------------------------------
+#
+# One declaration of the schema's columns, shared by every consumer:
+# CSV headers, the columnar RecordBatch layout, the Parquet codec, and
+# the store's raw-column fingerprints all derive from COLUMN_SPECS, so
+# adding a column is a one-line change here.
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One schema column.
+
+    Attributes:
+        name: serialized column name (CSV header / JSON key / Parquet
+            field), matching :meth:`LogRecord.to_dict`.
+        attr: the :class:`LogRecord` attribute holding the value.
+        kind: physical type — ``"str"`` (non-null string), ``"f64"``
+            (float), ``"i64"`` (integer), ``"str?"`` (nullable string).
+        enrichment: filled by preprocessing rather than ingestion;
+            excluded from source fingerprints (see
+            :mod:`repro.pipeline.store`).
+    """
+
+    name: str
+    attr: str
+    kind: str
+    enrichment: bool = False
+
+
+#: Every schema column, in serialization order (the paper's §3.1 field
+#: list plus the preprocessing enrichment columns).
+COLUMN_SPECS: tuple[ColumnSpec, ...] = (
+    ColumnSpec("useragent", "useragent", "str"),
+    ColumnSpec("timestamp", "timestamp", "f64"),
+    ColumnSpec("ip_hash", "ip_hash", "str"),
+    ColumnSpec("asn", "asn", "i64"),
+    ColumnSpec("sitename", "sitename", "str"),
+    ColumnSpec("uri_path", "uri_path", "str"),
+    ColumnSpec("status_code", "status_code", "i64"),
+    ColumnSpec("bytes", "bytes_sent", "i64"),
+    ColumnSpec("referer", "referer", "str?"),
+    ColumnSpec("bot_name", "bot_name", "str?", enrichment=True),
+    ColumnSpec("bot_category", "bot_category", "str?", enrichment=True),
+    ColumnSpec("asn_name", "asn_name", "str?", enrichment=True),
 )
+
+#: Column order for CSV serialization (derived from the registry).
+CSV_COLUMNS: tuple[str, ...] = tuple(spec.name for spec in COLUMN_SPECS)
+
+#: The paper's raw §3.1 columns — everything preprocessing does *not*
+#: fill in.  Source fingerprints cover exactly these (enrichment is
+#: deterministic given them and keyed by stage code tokens instead).
+RAW_COLUMNS: tuple[str, ...] = tuple(
+    spec.name for spec in COLUMN_SPECS if not spec.enrichment
+)
+
+
+# -- batch <-> row converters ---------------------------------------------
+
+
+def records_to_batch(records: "Iterable[LogRecord]") -> "RecordBatch":
+    """Pack row objects into one struct-of-arrays RecordBatch."""
+    from .columnar import RecordBatch
+
+    return RecordBatch.from_records(records)
+
+
+def batch_to_records(batch: "RecordBatch") -> list[LogRecord]:
+    """Materialize a RecordBatch back into a list of row objects."""
+    return batch.to_records()

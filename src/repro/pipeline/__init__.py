@@ -68,7 +68,10 @@ from .runner import Pipeline
 from .shard import (
     Shard,
     chunk_evenly,
+    partition_batches,
     partition_records,
+    restore_order,
+    restore_order_batches,
     run_sharded,
     shard_index,
 )
@@ -77,7 +80,11 @@ from .stages import SiteTraffic, VERSION_DIRECTIVES, build_study_pipeline
 from .store import (
     ArtifactStore,
     CacheStats,
+    PruneResult,
     SourceFingerprint,
+    StoreInfo,
+    fingerprint_batch,
+    fingerprint_batches,
     fingerprint_records,
     fingerprint_stream,
 )
@@ -89,18 +96,25 @@ __all__ = [
     "Pipeline",
     "PipelineConfig",
     "PipelineContext",
+    "PruneResult",
     "RecordSource",
     "Shard",
     "ShardStage",
     "SiteTraffic",
     "SourceFingerprint",
     "Stage",
+    "StoreInfo",
     "VERSION_DIRECTIVES",
     "build_study_pipeline",
     "chunk_evenly",
+    "fingerprint_batch",
+    "fingerprint_batches",
     "fingerprint_records",
     "fingerprint_stream",
+    "partition_batches",
     "partition_records",
+    "restore_order",
+    "restore_order_batches",
     "run_sharded",
     "shard_index",
     "stage",

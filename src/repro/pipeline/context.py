@@ -30,8 +30,20 @@ from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 
 from ..exceptions import PipelineError
+from ..logs.columnar import (
+    DEFAULT_BATCH_RECORDS,
+    RecordBatch,
+    iter_batches,
+    rechunk,
+    rows_of,
+)
 from ..logs.schema import LogRecord
-from .store import ArtifactStore, CacheStats, SourceFingerprint, fingerprint_stream
+from .store import (
+    ArtifactStore,
+    CacheStats,
+    SourceFingerprint,
+    fingerprint_batches,
+)
 
 #: Valid shard-key names (see :mod:`repro.pipeline.shard`).
 SHARD_BY_CHOICES: tuple[str, ...] = ("site", "ip")
@@ -82,20 +94,33 @@ class RecordSource:
       every :meth:`stream` call re-invokes it, nothing is spilled);
     - any other iterable (consumed once into the spill immediately,
       since a bare iterator cannot be replayed).
+
+    Batch-backed sources are constructed via :meth:`of_batches` from a
+    replayable :class:`RecordBatch` stream factory (e.g. ``lambda:
+    read_batches(path, "parquet")``).  Either backing serves both
+    granularities: :meth:`stream` over a batch source materializes one
+    thin row view at a time, and :meth:`batches` over a row source
+    packs rows into batches on the fly.
     """
 
-    __slots__ = ("_factory", "_spill", "_fingerprint")
+    __slots__ = ("_factory", "_batch_factory", "_spill", "_fingerprint")
 
     def __init__(
         self,
         factory: Callable[[], Iterable[LogRecord]] | None = None,
         records: list[LogRecord] | None = None,
+        batch_factory: Callable[[], Iterable[RecordBatch]] | None = None,
     ) -> None:
-        if (factory is None) == (records is None):
+        backings = sum(
+            backing is not None for backing in (factory, records, batch_factory)
+        )
+        if backings != 1:
             raise PipelineError(
-                "RecordSource needs exactly one of factory or records"
+                "RecordSource needs exactly one of factory, records, or "
+                "batch_factory"
             )
         self._factory = factory
+        self._batch_factory = batch_factory
         self._spill = records
         self._fingerprint: SourceFingerprint | None = None
 
@@ -112,21 +137,48 @@ class RecordSource:
             return cls(factory=source)
         return cls(records=list(source))
 
+    @classmethod
+    def of_batches(
+        cls, batch_factory: Callable[[], Iterable[RecordBatch]]
+    ) -> "RecordSource":
+        """A source backed by a replayable column-batch stream."""
+        return cls(batch_factory=batch_factory)
+
     @property
     def replayable(self) -> bool:
         """True when streaming passes do not require a spill."""
-        return self._factory is not None
+        return self._factory is not None or self._batch_factory is not None
 
     def stream(self) -> Iterator[LogRecord]:
         """One full pass over the records.
 
         Factory sources re-run the factory (true streaming); spilled
-        sources iterate the in-memory list.
+        sources iterate the in-memory list; batch sources materialize
+        thin row views batch by batch.
         """
         if self._spill is not None:
             return iter(self._spill)
+        if self._batch_factory is not None:
+            return rows_of(self._batch_factory())
         assert self._factory is not None
         return iter(self._factory())
+
+    def batches(
+        self, size: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[RecordBatch]:
+        """One full pass over the records as column batches.
+
+        Batch-backed sources re-slice their native stream to ``size``
+        rows per batch (pass-through when already exact); row-backed
+        sources pack rows on the fly, so at most one batch is live at a
+        time and the single-spill discipline is preserved.
+        """
+        if self._batch_factory is not None:
+            return rechunk(self._batch_factory(), size)
+        if self._spill is not None:
+            return iter_batches(iter(self._spill), size)
+        assert self._factory is not None
+        return iter_batches(self._factory(), size)
 
     def materialize(self) -> list[LogRecord]:
         """The records as a list — the single bounded spill.
@@ -136,22 +188,23 @@ class RecordSource:
         happens at most once per source.
         """
         if self._spill is None:
-            assert self._factory is not None
-            self._spill = list(self._factory())
+            self._spill = list(self.stream())
         return self._spill
 
     def fingerprint(self) -> SourceFingerprint:
         """Chunked content identity of this source (computed once).
 
-        The fingerprint keys every cached artifact derived from this
-        source, so appended logs are detected without re-running any
-        stage.  Cached per instance: a factory source is assumed not to
-        change underneath one pipeline run; re-reading a grown log file
-        means constructing a fresh source (the CLI does this on every
-        invocation).
+        The fingerprint hashes raw column chunks, so it is independent
+        of the serialization format *and* of the backing granularity: a
+        JSONL row source and a Parquet batch source over the same
+        records produce identical digests and hit the same cached
+        artifacts.  Cached per instance: a factory source is assumed
+        not to change underneath one pipeline run; re-reading a grown
+        log file means constructing a fresh source (the CLI does this
+        on every invocation).
         """
         if self._fingerprint is None:
-            self._fingerprint = fingerprint_stream(self.stream())
+            self._fingerprint = fingerprint_batches(self.batches())
         return self._fingerprint
 
 

@@ -42,7 +42,13 @@ from ..exceptions import PipelineError
 from .context import PipelineContext
 from .shard import Shard
 from .stage import ShardStage, Stage
-from .store import CACHE_SCHEMA, digest_parts, fingerprint_records, stable_token
+from .store import (
+    CACHE_SCHEMA,
+    digest_parts,
+    fingerprint_batch,
+    fingerprint_records,
+    stable_token,
+)
 
 
 class Pipeline:
@@ -248,7 +254,7 @@ class Pipeline:
             value = self._run_shard_stage_cached(item)
         else:
             value = item.run(context)
-        store.store(key, value)
+        store.store(key, value, stage=item.name)
         store.remember(item.name, key)
         context.stats.published += 1
         return value
@@ -269,13 +275,19 @@ class Pipeline:
         stats = context.stats
         shards: list[Shard] = context.artifact(item.shards_artifact)  # type: ignore[assignment]
         environment = self._environment()
+        # Batch-backed shards fingerprint straight off their columns; a
+        # warm rerun never materializes a single row object for them.
+        # Row-backed shards hash a transient batch (fingerprint_records)
+        # rather than caching one on the shard.
         keys = [
             digest_parts(
                 "shard",
                 item.name,
                 getattr(item, "token", ""),
                 environment,
-                fingerprint_records(shard.records),
+                fingerprint_batch(shard.batch)
+                if shard.batch_backed
+                else fingerprint_records(shard.records),
             )
             for shard in shards
         ]
@@ -300,7 +312,7 @@ class Pipeline:
             )
             for index, value in zip(miss_indices, computed):
                 outputs[index] = value
-                store.store(keys[index], value)
+                store.store(keys[index], value, stage=f"{item.name}[{index}]")
                 store.remember(f"{item.name}[{index}]", keys[index])
                 stats.published += 1
         stats.shard_hits[item.name] = hit_indices

@@ -33,10 +33,10 @@ import multiprocessing
 import zlib
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import TypeVar
 
 from ..exceptions import PipelineError
+from ..logs.columnar import RecordBatch
 from ..logs.schema import LogRecord
 
 _P = TypeVar("_P")
@@ -58,30 +58,84 @@ SHARD_KEYS: dict[str, Callable[[LogRecord], str]] = {
     "ip": ip_key,
 }
 
+#: Shard key name -> the batch column that carries it (the columnar
+#: twin of :data:`SHARD_KEYS`; both must assign identically for the
+#: row and batch partitioners to agree).
+SHARD_KEY_COLUMNS: dict[str, str] = {
+    "site": "sitename",
+    "ip": "ip_hash",
+}
+
 
 def shard_index(key: str, shards: int) -> int:
     """Deterministic shard assignment for one key value."""
     return zlib.crc32(key.encode("utf-8")) % shards
 
 
-@dataclass
 class Shard:
-    """One hash partition of a record stream.
+    """One hash partition of a record stream, dual-backed.
+
+    A shard produced by :func:`partition_records` carries the original
+    row objects (zero copies); one produced by :func:`partition_batches`
+    carries a :class:`RecordBatch` and never saw a row object.  Either
+    backing serves both views — :attr:`records` and :attr:`batch` are
+    lazy properties that cross-materialize on first access, so callers
+    ask for the shape they want and pay only when the backing differs.
 
     Attributes:
         index: this shard's position in the partition.
-        records: the shard's records, in stream order.
         positions: each record's position in the original stream,
-            parallel to ``records`` — the merge key that restores
+            parallel to the records — the merge key that restores
             global order.
     """
 
-    index: int
-    records: list[LogRecord] = field(default_factory=list)
-    positions: list[int] = field(default_factory=list)
+    __slots__ = ("index", "positions", "_records", "_batch")
+
+    def __init__(
+        self,
+        index: int,
+        records: list[LogRecord] | None = None,
+        positions: list[int] | None = None,
+        batch: RecordBatch | None = None,
+    ) -> None:
+        self.index = index
+        self.positions = positions if positions is not None else []
+        self._records = records
+        self._batch = batch
+        if records is None and batch is None:
+            self._records = []
+
+    @property
+    def records(self) -> list[LogRecord]:
+        """The shard's rows, in stream order (materialized if needed)."""
+        if self._records is None:
+            assert self._batch is not None
+            self._records = self._batch.to_records()
+        return self._records
+
+    @property
+    def batch(self) -> RecordBatch:
+        """The shard's rows as a column batch (packed if needed)."""
+        if self._batch is None:
+            assert self._records is not None
+            self._batch = RecordBatch.from_records(self._records)
+        return self._batch
+
+    @property
+    def batch_backed(self) -> bool:
+        """True when this shard was partitioned columnar-wise (its
+        batch is the native backing, not a converted copy)."""
+        return self._records is None
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self._batch is not None:
+            return len(self._batch)
+        assert self._records is not None
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = "batch" if self._records is None else "records"
+        return f"Shard(index={self.index}, records={len(self)}, {backing})"
 
 
 def partition_records(
@@ -109,17 +163,131 @@ def partition_records(
     return parts
 
 
+def partition_batches(
+    batches: Iterable[RecordBatch], shards: int, shard_by: str = "site"
+) -> list[Shard]:
+    """Partition a batch stream into ``shards`` shards, columnar-wise.
+
+    Assigns rows to shards by hashing the key *column* and gathers them
+    with :meth:`RecordBatch.take` — no row objects are materialized at
+    any point.  The assignment function is identical to
+    :func:`partition_records`, so both partitioners produce the same
+    shard membership and positions for the same records.
+    """
+    if shards < 1:
+        raise PipelineError(f"shard count must be >= 1, got {shards}")
+    try:
+        column_name = SHARD_KEY_COLUMNS[shard_by]
+    except KeyError:
+        raise PipelineError(
+            f"unknown shard key {shard_by!r}; choose from {sorted(SHARD_KEY_COLUMNS)}"
+        ) from None
+    parts = [
+        Shard(index=i, batch=RecordBatch(), positions=[])
+        for i in range(shards)
+    ]
+    offset = 0
+    for batch in batches:
+        keys = batch.column(column_name)
+        buckets: dict[int, list[int]] = {}
+        for row, key in enumerate(keys):
+            buckets.setdefault(shard_index(key, shards), []).append(row)
+        for index, rows in buckets.items():
+            shard = parts[index]
+            shard.batch.extend(batch.take(rows))
+            shard.positions.extend(offset + row for row in rows)
+        offset += len(batch)
+    return parts
+
+
 def restore_order(
     outputs: Sequence[Sequence[LogRecord]],
     positions: Sequence[Sequence[int]],
     total: int,
 ) -> list[LogRecord]:
-    """Stitch per-shard record lists back into original stream order."""
+    """Stitch per-shard record lists back into original stream order.
+
+    Every stream position must be covered exactly once: shard workers
+    transform records but never add or drop them (filtering happens in
+    the reduce step, *after* the merge).  A gap, a duplicate, or an
+    out-of-range position means the partition and the outputs have
+    drifted apart, and a silent best-effort merge would quietly drop
+    records from the study — so any mismatch raises
+    :class:`~repro.exceptions.PipelineError` instead.
+    """
     merged: list[LogRecord | None] = [None] * total
-    for records, where in zip(outputs, positions):
+    filled = 0
+    for shard, (records, where) in enumerate(zip(outputs, positions)):
+        if len(records) != len(where):
+            raise PipelineError(
+                f"shard {shard}: {len(records)} output record(s) but "
+                f"{len(where)} position(s); shard workers must return "
+                "exactly one record per input"
+            )
         for position, record in zip(where, records):
+            if not 0 <= position < total:
+                raise PipelineError(
+                    f"shard {shard}: position {position} outside the "
+                    f"stream (total {total})"
+                )
+            if merged[position] is not None:
+                raise PipelineError(
+                    f"shard {shard}: duplicate stream position {position}"
+                )
             merged[position] = record
-    return [record for record in merged if record is not None]
+            filled += 1
+    if filled != total:
+        raise PipelineError(
+            f"merge covered {filled} of {total} stream position(s); "
+            "records were dropped between partition and merge"
+        )
+    return merged  # type: ignore[return-value]
+
+
+def restore_order_batches(
+    outputs: Sequence[RecordBatch],
+    positions: Sequence[Sequence[int]],
+    total: int,
+) -> RecordBatch:
+    """Columnar twin of :func:`restore_order`: merge shard batches back
+    into one batch in original stream order, without row objects.
+
+    Enforces the same exactly-once position coverage.
+    """
+    order: list[int | None] = [None] * total
+    filled = 0
+    offsets: list[int] = []
+    running = 0
+    for shard, (batch, where) in enumerate(zip(outputs, positions)):
+        if len(batch) != len(where):
+            raise PipelineError(
+                f"shard {shard}: {len(batch)} output record(s) but "
+                f"{len(where)} position(s); shard workers must return "
+                "exactly one record per input"
+            )
+        offsets.append(running)
+        for row, position in enumerate(where):
+            if not 0 <= position < total:
+                raise PipelineError(
+                    f"shard {shard}: position {position} outside the "
+                    f"stream (total {total})"
+                )
+            if order[position] is not None:
+                raise PipelineError(
+                    f"shard {shard}: duplicate stream position {position}"
+                )
+            order[position] = running + row
+            filled += 1
+        running += len(batch)
+    if filled != total:
+        raise PipelineError(
+            f"merge covered {filled} of {total} stream position(s); "
+            "records were dropped between partition and merge"
+        )
+    combined = RecordBatch()
+    for batch in outputs:
+        combined.extend(batch)
+    return combined.take(order)  # type: ignore[arg-type]
 
 
 def chunk_evenly(items: Sequence[_P], parts: int) -> list[list[_P]]:

@@ -31,19 +31,23 @@ and sequential runs produce byte-identical artifacts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import partial
 
 from ..analysis.aggregate import category_compliance
 from ..analysis.checkfreq import recheck_by_category, skipped_check_rows
+from ..analysis.columnar import (
+    SiteTraffic,
+    group_by_bot,
+    site_traffic_batches,
+)
 from ..analysis.compliance import Directive
 from ..analysis.perbot import per_bot_results, spoofed_bot_results
 from ..analysis.spoofing import find_spoofed_bots, partition_records as spoof_partition
+from ..logs.columnar import iter_batches
 from ..logs.preprocess import (
     Preprocessor,
     merge_preprocess_shards,
     preprocess_shard,
-    records_by_bot,
     scanner_ips_from_stats,
     scanner_stats,
 )
@@ -51,9 +55,15 @@ from ..logs.schema import LogRecord
 from ..robots.corpus import RobotsVersion
 from .context import PipelineConfig, PipelineContext, RecordSource
 from .runner import Pipeline
-from .shard import partition_records
+from .shard import partition_batches
 from .stage import FunctionStage, ShardStage
 from .store import ArtifactStore
+
+__all__ = [
+    "SiteTraffic",
+    "VERSION_DIRECTIVES",
+    "build_study_pipeline",
+]
 
 #: Experiment phase -> measured directive (the paper's three
 #: treatment deployments; the base file is the control).
@@ -99,10 +109,17 @@ def _preprocess_sequential(
 
 
 def _partition_stage(context: PipelineContext):
+    """Hash-partition the source, columnar-wise.
+
+    Streams the source as batches into batch-backed shards: no row
+    objects exist until a shard actually has to run its worker, and on
+    a warm (fully cached) run none are ever materialized — per-shard
+    cache keys hash the shard's columns directly.
+    """
     source = context.source
     assert source is not None
-    return partition_records(
-        source.stream(), context.config.jobs, context.config.shard_by
+    return partition_batches(
+        source.batches(), context.config.jobs, context.config.shard_by
     )
 
 
@@ -226,8 +243,11 @@ def _category_table(context: PipelineContext):
 
 
 def _skipped_checks(context: PipelineContext):
+    # Bot groups are gathered columnar-wise (one batch per bot, no row
+    # lists); the compliance metrics consume the batches directly via
+    # their RecordBatch dispatch.
     directive_by_bot = {
-        directive: records_by_bot(records)
+        directive: group_by_bot(iter_batches(records))
         for directive, records in context.artifact("directive_records").items()
     }
     return skipped_check_rows(directive_by_bot)
@@ -238,51 +258,14 @@ def _recheck(context: PipelineContext):
 
 
 # -- site-level tallies ---------------------------------------------------
-
-
-@dataclass(frozen=True)
-class SiteTraffic:
-    """Per-site traffic tallies over the preprocessed corpus.
-
-    The multi-site substrate for observatory-style batch reporting:
-    how much traffic, how many distinct known bots, how many robots.txt
-    probes and bytes each site saw.
-    """
-
-    site: str
-    visits: int
-    known_bot_visits: int
-    unique_bots: int
-    robots_fetches: int
-    bytes_sent: int
+#
+# SiteTraffic itself now lives in repro.analysis.columnar (imported
+# above and re-exported here for compatibility) next to the streaming
+# reducer that computes it.
 
 
 def _site_traffic(context: PipelineContext) -> dict[str, SiteTraffic]:
-    visits: dict[str, int] = {}
-    bot_visits: dict[str, int] = {}
-    bots: dict[str, set[str]] = {}
-    robots: dict[str, int] = {}
-    sent: dict[str, int] = {}
-    for record in _records(context):
-        site = record.sitename
-        visits[site] = visits.get(site, 0) + 1
-        sent[site] = sent.get(site, 0) + record.bytes_sent
-        if record.bot_name is not None:
-            bot_visits[site] = bot_visits.get(site, 0) + 1
-            bots.setdefault(site, set()).add(record.bot_name)
-        if record.is_robots_fetch:
-            robots[site] = robots.get(site, 0) + 1
-    return {
-        site: SiteTraffic(
-            site=site,
-            visits=visits[site],
-            known_bot_visits=bot_visits.get(site, 0),
-            unique_bots=len(bots.get(site, ())),
-            robots_fetches=robots.get(site, 0),
-            bytes_sent=sent[site],
-        )
-        for site in sorted(visits)
-    }
+    return site_traffic_batches(iter_batches(_records(context)))
 
 
 # -- pipeline assembly ----------------------------------------------------

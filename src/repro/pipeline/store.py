@@ -44,11 +44,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..exceptions import PipelineError
+from ..logs.columnar import RecordBatch, iter_batches, rechunk
+from ..logs.schema import RAW_COLUMNS
 
 #: Bump to invalidate every cached artifact (on-disk format changes,
 #: cross-cutting semantic fixes).  Stage-local changes should bump the
-#: stage's own ``token`` instead.
-CACHE_SCHEMA = "1"
+#: stage's own ``token`` instead.  "2": columnar chunk fingerprints +
+#: stage-tagged artifact headers.
+CACHE_SCHEMA = "2"
 
 #: Records per fingerprint chunk.  Appending records perturbs only the
 #: final (partial) chunk and anything after it; all full chunks before
@@ -56,7 +59,9 @@ CACHE_SCHEMA = "1"
 DEFAULT_CHUNK_RECORDS = 2048
 
 #: Artifact file header; the version suffix guards the binary layout.
-_MAGIC = b"repro-artifact/1\n"
+#: v2 adds a stage-name line so ``cache info --verbose`` can attribute
+#: on-disk bytes per stage; v1 files read as corrupt and self-heal.
+_MAGIC = b"repro-artifact/2\n"
 
 #: Field separator inside key derivations (never appears in tokens).
 _SEP = "\x1f"
@@ -67,59 +72,42 @@ def digest_parts(*parts: str) -> str:
     return hashlib.sha256(_SEP.join(parts).encode("utf-8")).hexdigest()
 
 
-#: The paper's raw §3.1 columns — fingerprints cover exactly these.
-#: Enrichment columns (``bot_name``, ``bot_category``, ``asn_name``)
-#: are deliberately excluded: preprocessing fills them *in place*, so
-#: including them would shift a list source's identity between the
-#: first (raw) and second (enriched) run over the same objects.  The
-#: enrichment itself is deterministic given the raw columns, and its
-#: code version is keyed separately via the preprocess stage token.
-_RAW_COLUMNS: tuple[str, ...] = (
-    "useragent",
-    "timestamp",
-    "ip_hash",
-    "asn",
-    "sitename",
-    "uri_path",
-    "status_code",
-    "bytes",
-    "referer",
-)
+# Fingerprints cover exactly the paper's raw §3.1 columns
+# (schema.RAW_COLUMNS).  Enrichment columns (``bot_name``,
+# ``bot_category``, ``asn_name``) are deliberately excluded:
+# preprocessing fills them *in place*, so including them would shift a
+# list source's identity between the first (raw) and second (enriched)
+# run over the same objects.  The enrichment itself is deterministic
+# given the raw columns, and its code version is keyed separately via
+# the preprocess stage token.
+#
+# Hashing is *columnar*: each chunk contributes one JSON array per raw
+# column (straight off a RecordBatch's containers — one dumps call per
+# column instead of one per record), so the digest depends only on
+# column values, never on the serialization format the corpus came
+# from.  JSONL, CSV and Parquet encodings of the same records hit the
+# same cache entries.
 
 
-def _record_bytes(record) -> bytes:
-    """One record's canonical serialized form for fingerprinting.
+def _update_chunk_digest(digest, batch: RecordBatch) -> None:
+    for name in RAW_COLUMNS:
+        column = batch.column(name)
+        if not isinstance(column, list):
+            column = column.tolist()
+        digest.update(json.dumps(column, separators=(",", ":")).encode("utf-8"))
+        digest.update(b"\n")
 
-    JSON over the raw columns in fixed order (the same values
-    :meth:`LogRecord.to_dict` would emit, read straight off the
-    attributes so fingerprinting skips building the full enrichment
-    dict), stable across processes, platforms and Python versions —
-    unlike ``hash()`` or pickle, which are salted or
-    implementation-defined.
-    """
-    return json.dumps(
-        [
-            record.useragent,
-            record.iso_timestamp,
-            record.ip_hash,
-            record.asn,
-            record.sitename,
-            record.uri_path,
-            record.status_code,
-            record.bytes_sent,
-            record.referer,
-        ],
-        separators=(",", ":"),
-    ).encode("utf-8")
+
+def fingerprint_batch(batch: RecordBatch) -> str:
+    """Content hash of one batch's raw columns (a shard's identity)."""
+    digest = hashlib.sha256()
+    _update_chunk_digest(digest, batch)
+    return digest.hexdigest()
 
 
 def fingerprint_records(records: Iterable[object]) -> str:
-    """Content hash of a record sequence (one shard's identity)."""
-    digest = hashlib.sha256()
-    for record in records:
-        digest.update(_record_bytes(record))
-        digest.update(b"\n")
-    return digest.hexdigest()
+    """Content hash of a record sequence (row-object convenience)."""
+    return fingerprint_batch(RecordBatch.from_records(records))
 
 
 @dataclass(frozen=True)
@@ -152,34 +140,44 @@ class SourceFingerprint:
         return shared
 
 
-def fingerprint_stream(
-    records: Iterable[object], chunk_records: int = DEFAULT_CHUNK_RECORDS
+def fingerprint_batches(
+    batches: Iterable[RecordBatch],
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
 ) -> SourceFingerprint:
-    """Fingerprint a record stream in one pass, chunk by chunk."""
+    """Fingerprint a batch stream in one pass.
+
+    Incoming batches are re-sliced to exactly ``chunk_records`` rows
+    per chunk, so the chunk digests — and every cache key derived from
+    them — are independent of the source's own batch size *and* of its
+    serialization format.
+    """
     if chunk_records < 1:
         raise PipelineError(
             f"chunk_records must be >= 1, got {chunk_records}"
         )
     chunks: list[str] = []
-    chunk = hashlib.sha256()
-    filled = 0
     total = 0
-    for record in records:
-        chunk.update(_record_bytes(record))
-        chunk.update(b"\n")
-        filled += 1
-        total += 1
-        if filled == chunk_records:
-            chunks.append(chunk.hexdigest())
-            chunk = hashlib.sha256()
-            filled = 0
-    if filled:
-        chunks.append(chunk.hexdigest())
+    for chunk in rechunk(batches, chunk_records):
+        chunks.append(fingerprint_batch(chunk))
+        total += len(chunk)
     overall = hashlib.sha256()
     for piece in chunks:
         overall.update(piece.encode("ascii"))
     return SourceFingerprint(
         chunks=tuple(chunks), digest=overall.hexdigest(), records=total
+    )
+
+
+def fingerprint_stream(
+    records: Iterable[object], chunk_records: int = DEFAULT_CHUNK_RECORDS
+) -> SourceFingerprint:
+    """Fingerprint a row stream (packs into chunk-sized batches)."""
+    if chunk_records < 1:
+        raise PipelineError(
+            f"chunk_records must be >= 1, got {chunk_records}"
+        )
+    return fingerprint_batches(
+        iter_batches(records, chunk_records), chunk_records
     )
 
 
@@ -274,11 +272,29 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class StoreInfo:
-    """Summary returned by :meth:`ArtifactStore.info`."""
+    """Summary returned by :meth:`ArtifactStore.info`.
+
+    ``stages`` is populated only by ``info(verbose=True)``: stage name
+    -> (entry count, bytes), read from the artifact headers.  Shard
+    worker outputs appear under their ``stage[index]`` names; files
+    from the pre-v2 layout (or with unreadable headers) land under
+    ``"(unknown)"``.
+    """
 
     path: str
     entries: int
     total_bytes: int
+    stages: dict[str, tuple[int, int]] | None = None
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Summary returned by :meth:`ArtifactStore.prune`."""
+
+    removed: int
+    freed_bytes: int
+    kept_entries: int
+    kept_bytes: int
 
 
 class ArtifactStore:
@@ -337,25 +353,40 @@ class ArtifactStore:
             if not blob.startswith(_MAGIC):
                 raise ValueError("bad artifact header")
             body = blob[len(_MAGIC) :]
+            _stage, _, body = body.partition(b"\n")
             digest, _, payload = body.partition(b"\n")
             if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
                 raise ValueError("artifact checksum mismatch")
-            return "hit", pickle.loads(payload)
+            value = pickle.loads(payload)
         except Exception:
-            # Torn copy, external truncation, or unpicklable payload:
-            # drop the file and let the caller recompute + republish.
+            # Torn copy, external truncation, a pre-v2 layout, or an
+            # unpicklable payload: drop the file and let the caller
+            # recompute + republish.
             try:
                 path.unlink()
             except OSError:
                 pass
             return "corrupt", None
+        try:
+            # Refresh recency so ``prune --max-bytes`` evicts genuinely
+            # cold artifacts (LRU), not merely old ones.
+            os.utime(path)
+        except OSError:
+            pass
+        return "hit", value
 
-    def store(self, key: str, value: object) -> None:
-        """Publish one artifact atomically (checksummed, tmp + rename)."""
+    def store(self, key: str, value: object, stage: str = "") -> None:
+        """Publish one artifact atomically (checksummed, tmp + rename).
+
+        ``stage`` tags the file header so ``info(verbose=True)`` can
+        break the cache footprint down per stage; it never affects the
+        key or the payload.
+        """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest().encode("ascii")
         path = self._object_path(key)
-        self._atomic_write(path, _MAGIC + digest + b"\n" + payload)
+        header = _MAGIC + stage.encode("utf-8") + b"\n" + digest + b"\n"
+        self._atomic_write(path, header + payload)
 
     @staticmethod
     def _atomic_write(path: Path, blob: bytes) -> None:
@@ -405,17 +436,83 @@ class ArtifactStore:
             if path.is_file() and not path.name.startswith(".tmp-")
         ]
 
-    def info(self) -> StoreInfo:
-        """Entry count and on-disk footprint."""
+    @staticmethod
+    def _stage_of(path: Path) -> str:
+        """Read the stage name from an artifact header (cheap: one line
+        past the magic, no payload read)."""
+        try:
+            with open(path, "rb") as handle:
+                if handle.read(len(_MAGIC)) != _MAGIC:
+                    return "(unknown)"
+                stage = handle.readline().rstrip(b"\n").decode("utf-8")
+        except (OSError, UnicodeDecodeError):
+            return "(unknown)"
+        return stage or "(unknown)"
+
+    def info(self, verbose: bool = False) -> StoreInfo:
+        """Entry count and on-disk footprint.
+
+        With ``verbose=True``, also attribute entries/bytes per stage
+        (read from the artifact headers) in :attr:`StoreInfo.stages`.
+        """
         files = self._object_files()
         total = 0
+        stages: dict[str, tuple[int, int]] | None = {} if verbose else None
         for path in files:
             try:
-                total += path.stat().st_size
+                size = path.stat().st_size
             except OSError:
-                pass
+                continue
+            total += size
+            if stages is not None:
+                stage = self._stage_of(path)
+                count, stage_bytes = stages.get(stage, (0, 0))
+                stages[stage] = (count + 1, stage_bytes + size)
         return StoreInfo(
-            path=str(self.root), entries=len(files), total_bytes=total
+            path=str(self.root),
+            entries=len(files),
+            total_bytes=total,
+            stages=stages,
+        )
+
+    def prune(self, max_bytes: int) -> PruneResult:
+        """Evict least-recently-used artifacts until the store fits.
+
+        Artifacts are ranked by file mtime — refreshed on every cache
+        hit — and the coldest are deleted first until the remaining
+        footprint is at most ``max_bytes``.  The ``latest/`` key
+        pointers are left alone: a pruned artifact simply misses on the
+        next run and is recomputed and republished.
+        """
+        if max_bytes < 0:
+            raise PipelineError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self._object_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda entry: entry[0])  # oldest (coldest) first
+        removed = 0
+        freed = 0
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        return PruneResult(
+            removed=removed,
+            freed_bytes=freed,
+            kept_entries=len(entries) - removed,
+            kept_bytes=total,
         )
 
     def clear(self) -> int:

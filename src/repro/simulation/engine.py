@@ -86,9 +86,19 @@ class StudyDataset:
         """Chunked content identity of the dataset's record stream.
 
         The digest that keys this dataset's cached pipeline artifacts;
-        two datasets with byte-identical serialized records share it.
+        two datasets with identical column values share it — including
+        across serialization formats (JSONL/CSV/Parquet round-trips).
         """
         return self.source().fingerprint().digest
+
+    def batches(self, size: int | None = None) -> Iterator["object"]:
+        """The dataset as a :class:`~repro.logs.columnar.RecordBatch`
+        stream (``size`` rows per batch), for columnar consumers."""
+        from ..logs.columnar import DEFAULT_BATCH_RECORDS, iter_batches
+
+        return iter_batches(
+            self.records, size if size is not None else DEFAULT_BATCH_RECORDS
+        )
 
     def iter_shards(
         self, shards: int, shard_by: str = "site"

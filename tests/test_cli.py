@@ -100,3 +100,57 @@ class TestReportCommand:
         assert main(["report", "--scale", "0.005", "--experiments", "T2"]) == 0
         out = capsys.readouterr().out
         assert "Table 2" in out
+
+
+class TestConvertCommand:
+    def _simulate(self, tmp_path) -> str:
+        log = tmp_path / "study.jsonl"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scale",
+                    "0.002",
+                    "--no-noise",
+                    "--output",
+                    str(log),
+                ]
+            )
+            == 0
+        )
+        return str(log)
+
+    def test_jsonl_to_csv_and_back(self, tmp_path, capsys):
+        from repro.logs.io import read_csv, read_jsonl
+
+        log = self._simulate(tmp_path)
+        capsys.readouterr()
+        csv_path = tmp_path / "study.csv"
+        assert (
+            main(
+                ["convert", log, str(csv_path), "--from", "jsonl", "--to", "csv"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "converted" in out
+        assert "(jsonl)" in out and "(csv)" in out
+        assert list(read_csv(csv_path)) == list(read_jsonl(log))
+
+    def test_parquet_target_without_pyarrow_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        from repro.logs.parquet import HAVE_PYARROW
+
+        log = self._simulate(tmp_path)
+        capsys.readouterr()
+        target = tmp_path / "study.parquet"
+        code = main(["convert", log, str(target)])  # defaults: jsonl -> parquet
+        if HAVE_PYARROW:
+            assert code == 0
+            assert target.exists()
+        else:
+            assert code == 2
+            err = capsys.readouterr().err
+            assert "pyarrow" in err
+            assert err.startswith("error:")

@@ -1,5 +1,5 @@
 """Incremental-analysis flags through the CLI: --cache-dir, --no-cache,
-and the cache info/clear subcommand."""
+and the cache info/clear/prune subcommand."""
 
 import re
 
@@ -119,3 +119,121 @@ class TestCacheSubcommand:
 
         assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
         assert "entries: 0" in capsys.readouterr().out
+
+    def _warm_cache(self, small_log, cache, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(small_log),
+                    "--cache-dir",
+                    str(cache),
+                    "--experiments",
+                    "T5",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_info_verbose_breaks_bytes_down_per_stage(
+        self, small_log, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        self._warm_cache(small_log, cache, capsys)
+        assert (
+            main(["cache", "info", "--cache-dir", str(cache), "--verbose"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stages:" in out
+        stage_lines = re.findall(r"^  (\S+): (\d+) entries, ([\d,]+) bytes$",
+                                 out, re.MULTILINE)
+        assert stage_lines
+        stages = {name for name, _, _ in stage_lines}
+        assert "preprocess" in stages
+        total = int(re.search(r"bytes: ([\d,]+)", out).group(1).replace(",", ""))
+        attributed = sum(
+            int(size.replace(",", "")) for _, _, size in stage_lines
+        )
+        assert attributed == total
+
+    def test_prune_requires_max_bytes(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_evicts_down_to_budget(self, small_log, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        self._warm_cache(small_log, cache, capsys)
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        entries = int(re.search(r"entries: (\d+)", out).group(1))
+        total = int(re.search(r"bytes: ([\d,]+)", out).group(1).replace(",", ""))
+        assert entries > 1
+
+        budget = total // 2
+        assert (
+            main(
+                [
+                    "cache",
+                    "prune",
+                    "--cache-dir",
+                    str(cache),
+                    "--max-bytes",
+                    str(budget),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        match = re.search(
+            r"pruned (\d+) artifact\(s\), freed ([\d,]+) bytes; "
+            r"(\d+) entries / ([\d,]+) bytes remain",
+            out,
+        )
+        assert match, out
+        pruned = int(match.group(1))
+        kept_entries = int(match.group(3))
+        kept_bytes = int(match.group(4).replace(",", ""))
+        assert pruned > 0
+        assert pruned + kept_entries == entries
+        assert kept_bytes <= budget
+
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        assert f"entries: {kept_entries}" in capsys.readouterr().out
+
+    def test_prune_to_zero_then_analyze_recomputes(
+        self, small_log, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        self._warm_cache(small_log, cache, capsys)
+        assert (
+            main(
+                [
+                    "cache",
+                    "prune",
+                    "--cache-dir",
+                    str(cache),
+                    "--max-bytes",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Everything misses, recomputes, and republishes.
+        argv = [
+            "analyze",
+            str(small_log),
+            "--cache-dir",
+            str(cache),
+            "--experiments",
+            "T5",
+        ]
+        assert main(argv) == 0
+        hits, misses = _stats(capsys.readouterr().err)
+        assert hits == 0
+        assert misses > 0
+        assert main(argv) == 0
+        hits, misses = _stats(capsys.readouterr().err)
+        assert misses == 0

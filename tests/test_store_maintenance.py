@@ -1,0 +1,130 @@
+"""ArtifactStore maintenance: LRU pruning and per-stage cache info.
+
+``cache prune --max-bytes N`` must evict the *coldest* artifacts first
+— recency is file mtime, refreshed on every cache hit — and stop as
+soon as the store fits the budget.  ``info(verbose=True)`` attributes
+entries and bytes to the stage names recorded in the v2 artifact
+headers.
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.pipeline.store import ArtifactStore
+
+
+def _fill(store: ArtifactStore, count: int = 5, stage: str = "stage"):
+    """Publish ``count`` artifacts with strictly increasing mtimes.
+
+    Returns the keys in publication (= recency) order: keys[0] is the
+    coldest artifact, keys[-1] the hottest.
+    """
+    keys = []
+    for index in range(count):
+        key = f"{index:02d}" * 32
+        store.store(key, {"payload": "x" * 64, "index": index}, stage=stage)
+        # Deterministic, widely spaced mtimes: prune ranks by mtime, and
+        # sub-second filesystem timestamp granularity must not matter.
+        os.utime(store._object_path(key), (1_000_000 + index, 1_000_000 + index))
+        keys.append(key)
+    return keys
+
+
+class TestPrune:
+    def test_evicts_coldest_first_until_budget_fits(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = _fill(store, count=5)
+        sizes = {
+            key: store._object_path(key).stat().st_size for key in keys
+        }
+        budget = sizes[keys[3]] + sizes[keys[4]]  # room for the 2 hottest
+        result = store.prune(budget)
+        assert result.removed == 3
+        assert result.kept_entries == 2
+        assert result.kept_bytes <= budget
+        assert result.freed_bytes == sum(sizes[key] for key in keys[:3])
+        assert store.load(keys[4])[0] == "hit"
+        assert store.load(keys[3])[0] == "hit"
+        assert store.load(keys[0])[0] == "miss"
+
+    def test_noop_when_already_under_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _fill(store, count=3)
+        before = store.info()
+        result = store.prune(before.total_bytes)
+        assert result.removed == 0
+        assert result.freed_bytes == 0
+        assert store.info().entries == 3
+
+    def test_zero_budget_clears_objects(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _fill(store, count=4)
+        result = store.prune(0)
+        assert result.removed == 4
+        assert result.kept_entries == 0
+        assert result.kept_bytes == 0
+        assert store.info().entries == 0
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(PipelineError, match="max_bytes"):
+            ArtifactStore(tmp_path).prune(-1)
+
+    def test_cache_hit_refreshes_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = _fill(store, count=3)
+        # Touch the coldest artifact via a cache hit: it becomes the
+        # hottest and must survive a prune that evicts two entries.
+        assert store.load(keys[0])[0] == "hit"
+        size = store._object_path(keys[0]).stat().st_size
+        result = store.prune(size)
+        assert result.removed == 2
+        assert store.load(keys[0])[0] == "hit"
+        assert store.load(keys[1])[0] == "miss"
+        assert store.load(keys[2])[0] == "miss"
+
+    def test_prune_keeps_latest_pointers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        (key, *_rest) = _fill(store, count=2)
+        store.remember("some_stage", key)
+        store.prune(0)
+        # The pointer survives; the pruned artifact simply misses and is
+        # recomputed + republished on the next run.
+        assert store.last_key("some_stage") == key
+        assert store.load(key)[0] == "miss"
+
+    def test_empty_store_prunes_to_nothing(self, tmp_path):
+        result = ArtifactStore(tmp_path / "absent").prune(10)
+        assert result.removed == 0
+        assert result.kept_entries == 0
+
+
+class TestVerboseInfo:
+    def test_default_info_has_no_stage_breakdown(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _fill(store, count=2)
+        assert store.info().stages is None
+
+    def test_stages_attributed_from_headers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        _fill(store, count=2, stage="preprocess")
+        store.store("ab" * 32, [1, 2, 3], stage="per_bot[0]")
+        info = store.info(verbose=True)
+        assert info.entries == 3
+        assert set(info.stages) == {"preprocess", "per_bot[0]"}
+        count, size = info.stages["preprocess"]
+        assert count == 2
+        assert size > 0
+        assert sum(s for _, s in info.stages.values()) == info.total_bytes
+
+    def test_untagged_and_foreign_files_fall_under_unknown(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.store("cd" * 32, "value")  # stage defaults to ""
+        garbage = store._object_path("ef" * 32)
+        garbage.parent.mkdir(parents=True, exist_ok=True)
+        garbage.write_bytes(b"not an artifact at all")
+        info = store.info(verbose=True)
+        assert info.stages == {
+            "(unknown)": (2, info.total_bytes),
+        }
