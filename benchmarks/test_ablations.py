@@ -8,8 +8,8 @@ lies.
 
 from __future__ import annotations
 
-from repro.analysis.compliance import Directive
 from repro.analysis.aggregate import category_compliance
+from repro.analysis.compliance import Directive
 from repro.analysis.perbot import per_bot_results
 from repro.analysis.spoofing import find_spoofed_bots
 from repro.analysis.stats import weighted_average

@@ -13,9 +13,9 @@ Run with::
 """
 
 from repro.robots import RobotsCache, resolve_fetch
+from repro.robots.corpus import RobotsVersion, render_version
 from repro.simulation import epoch
 from repro.web import Request, WebServer, build_university_sites
-from repro.robots.corpus import RobotsVersion, render_version
 
 USER_AGENT = "PoliteBot/1.0 (+https://example.org/politebot)"
 ROBOTS_TOKEN = "PoliteBot"

@@ -24,14 +24,13 @@ from collections.abc import Iterable
 from ..logs.columnar import RecordBatch
 from ..logs.schema import LogRecord
 from ..robots.corpus import V1_CRAWL_DELAY_SECONDS, V2_ALLOWED_ENDPOINT
-from .stats import ProportionSample
-
 from .columnar import (
     checked_robots_batch,
     crawl_delay_sample_batch,
     disallow_sample_batch,
     endpoint_sample_batch,
 )
+from .stats import ProportionSample
 
 #: Prefix form of the v2 allowed endpoint (strip the trailing ``*``).
 _ENDPOINT_PREFIX = V2_ALLOWED_ENDPOINT.rstrip("*")

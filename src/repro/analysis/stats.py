@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 from scipy.stats import norm
 
+from ..exceptions import ConfigError
+
 #: Significance level used throughout the paper's figures.
 ALPHA = 0.05
 
@@ -95,13 +97,13 @@ def weighted_average(values: list[float], weights: list[float]) -> float:
     """Access-weighted mean, the paper's category aggregation (§4.3).
 
     Raises:
-        ValueError: on length mismatch or all-zero weights.
+        ConfigError: on length mismatch or all-zero weights.
     """
     if len(values) != len(weights):
-        raise ValueError("values and weights must have equal length")
+        raise ConfigError("values and weights must have equal length")
     total = sum(weights)
     if total <= 0:
-        raise ValueError("weights must sum to a positive value")
+        raise ConfigError("weights must sum to a positive value")
     return sum(value * weight for value, weight in zip(values, weights)) / total
 
 

@@ -29,13 +29,13 @@ import numpy as np
 from ..robots.corpus import EXEMPT_SEO_BOTS, RobotsVersion, V1_CRAWL_DELAY_SECONDS
 from ..robots.fetchstate import resolve_fetch
 from ..robots.policy import RobotsPolicy
+from ..simulation.clock import SECONDS_PER_DAY, epoch
+from ..simulation.iphash import generate_ip_pool
+from ..simulation.scenario import StudyScenario
 from ..web.message import Request
 from ..web.server import WebServer
 from ..web.site import ROBOTS_PATH, Website
 from .behavior import BotProfile, ComplianceProfile
-from ..simulation.clock import SECONDS_PER_DAY, epoch
-from ..simulation.iphash import generate_ip_pool
-from ..simulation.scenario import StudyScenario
 
 
 def agent_seed(master_seed: int, name: str) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 
 from ..asn.database import default_asn_registry
+from ..exceptions import ConfigError
 from ..uaparse.categories import BotCategory, RobotsPromise
 from ..uaparse.registry import default_registry
 from .behavior import BotProfile, CheckPolicy, ComplianceProfile, NEVER_CHECKS
@@ -34,7 +35,7 @@ def _asn(name: str) -> int:
     """Resolve an ASN registry handle to its number."""
     info = default_asn_registry().by_name(name)
     if info is None:
-        raise ValueError(f"ASN handle not in registry: {name}")
+        raise ConfigError(f"ASN handle not in registry: {name}")
     return info.asn
 
 

@@ -11,10 +11,10 @@ an unusual network.
 
 from __future__ import annotations
 
+from ..simulation.scenario import StudyScenario
 from ..web.server import WebServer
 from .agent import BotAgent
 from .behavior import BotProfile, ComplianceProfile
-from ..simulation.scenario import StudyScenario
 
 #: Default spoofed-instance compliance: indifferent to every directive.
 SPOOF_DEFAULT_COMPLIANCE = ComplianceProfile(

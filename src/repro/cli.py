@@ -216,6 +216,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("versions", help="print the paper's four robots.txt files")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repo's AST invariant checker (repro.devtools.lint)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to run"
+    )
+    lint.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root findings are reported relative to (default: cwd)",
+    )
+    lint.add_argument(
+        "--baseline", type=Path, default=None, help="baseline file path"
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings as the new baseline",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="lint_format"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print every rule and exit"
+    )
     return parser
 
 
@@ -433,6 +470,28 @@ def _cmd_versions(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Delegate to :mod:`repro.devtools.lint` (lazy import keeps the
+    hot CLI paths free of the devtools package)."""
+    from .devtools.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.root is not None:
+        argv += ["--root", str(args.root)]
+    if args.baseline is not None:
+        argv += ["--baseline", str(args.baseline)]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv += ["--format", args.lint_format]
+    return lint_main(argv)
+
+
 _HANDLERS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
@@ -443,6 +502,7 @@ _HANDLERS = {
     "scorecard": _cmd_scorecard,
     "cache": _cmd_cache,
     "versions": _cmd_versions,
+    "lint": _cmd_lint,
 }
 
 

@@ -1,0 +1,9 @@
+"""Developer tooling for the repro codebase.
+
+Currently one tool lives here: :mod:`repro.devtools.lint`, an AST
+static-analysis framework enforcing the repo's cross-cutting invariants
+(cache-key determinism, parallel safety, schema registry discipline,
+optional-dependency guards, exception taxonomy) that generic linters
+cannot see.  Run it with ``python -m repro.devtools.lint`` or
+``repro-study lint``.
+"""

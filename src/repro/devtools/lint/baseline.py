@@ -1,0 +1,70 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file mapping finding identities (rule
+code + path + message, no line numbers — see
+:attr:`~repro.devtools.lint.findings.Finding.baseline_key`) to
+occurrence counts.  ``--write-baseline`` snapshots the current
+findings; subsequent runs consume matching findings against the counts
+and report only what is *new*.  This is how a rule can land strict
+without blocking on a full cleanup — and why the count matters: a
+second copy of a grandfathered violation is still a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from ...exceptions import LintConfigError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return Counter()
+    except OSError as exc:
+        raise LintConfigError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        payload = json.loads(raw)
+        findings = payload["findings"]
+        version = payload["version"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise LintConfigError(f"malformed baseline file {path}: {exc}") from exc
+    if version != BASELINE_VERSION:
+        raise LintConfigError(
+            f"baseline {path} has version {version!r}; expected {BASELINE_VERSION}"
+        )
+    return Counter({str(key): int(count) for key, count in findings.items()})
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Snapshot ``findings`` as the new baseline (sorted, stable)."""
+    counts = Counter(finding.baseline_key for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, grandfathered-count)."""
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    consumed = 0
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            consumed += 1
+        else:
+            fresh.append(finding)
+    return fresh, consumed

@@ -1,0 +1,137 @@
+"""Command-line front end: ``python -m repro.devtools.lint``.
+
+Also backs the ``repro-study lint`` subcommand.  Exit codes follow the
+usual linter convention: 0 clean (or baseline written), 1 findings,
+2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ...exceptions import LintConfigError
+from .engine import run_lint
+from .registry import all_rules
+
+DEFAULT_BASELINE = ".lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST invariant checker for the repro codebase: "
+            "cache-determinism, parallel-safety, schema drift, "
+            "optional-dependency and exception discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root for relative paths and git checks (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: <root>/{DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+    root = (args.root or Path.cwd()).resolve()
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline:
+        candidate = root / DEFAULT_BASELINE
+        if candidate.exists() or args.write_baseline:
+            baseline = candidate
+    elif args.no_baseline:
+        baseline = None
+    select = args.select.split(",") if args.select else None
+    try:
+        result = run_lint(
+            [Path(p) for p in args.paths],
+            root=root,
+            select=select,
+            baseline_path=baseline,
+            update_baseline=args.write_baseline,
+        )
+    except LintConfigError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        print(
+            f"repro-lint: wrote {result.baselined} finding(s) to {baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "code": f.code,
+                            "path": f.path,
+                            "line": f.line,
+                            "col": f.col,
+                            "message": f.message,
+                        }
+                        for f in result.findings
+                    ],
+                    "suppressed": result.suppressed,
+                    "baselined": result.baselined,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        print(result.summary(), file=sys.stderr)
+    return 0 if result.ok else 1

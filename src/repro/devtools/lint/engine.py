@@ -1,0 +1,114 @@
+"""Lint engine: load a project, run rules, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...exceptions import LintConfigError
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .findings import Finding
+from .project import Project, load_project
+from .registry import Rule, select_rules
+
+#: Reserved code for files the engine could not parse.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files: int = 0
+    rules: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        status = (
+            f"{len(self.findings)} finding(s)" if self.findings else "clean"
+        )
+        extras = []
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed")
+        if self.baselined:
+            extras.append(f"{self.baselined} baselined")
+        tail = f" ({', '.join(extras)})" if extras else ""
+        return (
+            f"repro-lint: {status} across {self.files} file(s), "
+            f"{self.rules} rule(s){tail}"
+        )
+
+
+def run_lint(
+    paths: list[Path],
+    root: Path | None = None,
+    select: list[str] | None = None,
+    baseline_path: Path | None = None,
+    update_baseline: bool = False,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``.
+
+    Args:
+        paths: files/directories to scan.
+        root: project root findings are reported relative to (defaults
+            to the current directory); also where repository-level
+            rules run ``git``.
+        select: restrict to these rule codes (default: all rules).
+        baseline_path: grandfathered-findings file; a missing file is
+            an empty baseline.
+        update_baseline: snapshot current findings to ``baseline_path``
+            instead of failing on them.
+    """
+    root = (root or Path.cwd()).resolve()
+    project = load_project(paths, root=root)
+    rules = select_rules(select)
+    result = LintResult(files=len(project.modules), rules=len(rules))
+
+    active: list[Finding] = []
+    for finding in _collect(project, rules):
+        if _suppressed(project, finding):
+            result.suppressed += 1
+        else:
+            active.append(finding)
+    active.sort(key=lambda f: f.sort_key)
+
+    if update_baseline:
+        if baseline_path is None:
+            raise LintConfigError("--write-baseline requires a baseline path")
+        write_baseline(baseline_path, active)
+        result.baselined = len(active)
+        return result
+    if baseline_path is not None:
+        active, result.baselined = apply_baseline(
+            active, load_baseline(baseline_path)
+        )
+    result.findings = active
+    return result
+
+
+def _collect(project: Project, rules: list[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        if module.error is not None:
+            findings.append(
+                Finding(PARSE_ERROR_CODE, module.rel, 0, 0, module.error)
+            )
+    for rule in rules:
+        findings.extend(rule.check(project))
+    return findings
+
+
+def _suppressed(project: Project, finding: Finding) -> bool:
+    module = next((m for m in project.modules if m.rel == finding.path), None)
+    if module is None:
+        return False
+    codes = module.suppressions.get(finding.line, ...)
+    if codes is ...:
+        return False
+    return codes is None or finding.code in codes

@@ -1,0 +1,42 @@
+"""Finding: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One lint violation.
+
+    Attributes:
+        code: rule code (``RPR###``; ``RPR000`` is reserved for files
+            the engine could not parse).
+        path: file path, POSIX-style, relative to the lint root when
+            possible.
+        line: 1-based line number (0 for whole-file findings).
+        col: 1-based column (0 when the rule has no column).
+        message: human-readable description of the violation.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    @property
+    def baseline_key(self) -> str:
+        """Identity used by the baseline file.
+
+        Deliberately excludes line/column so unrelated edits that shift
+        a grandfathered finding do not churn the baseline.
+        """
+        return f"{self.code} {self.path} {self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

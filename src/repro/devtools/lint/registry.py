@@ -1,0 +1,74 @@
+"""The rule registry: ``RPR###`` codes mapped to check functions.
+
+A rule is a function ``check(project) -> Iterable[Finding]`` registered
+under a stable code with the :func:`rule` decorator.  Rules receive the
+whole :class:`~repro.devtools.lint.project.Project` — per-module rules
+iterate ``project.modules`` themselves, call-graph rules consult
+``project.callgraph``, and repository-level rules (tracked-artifact
+hygiene) can inspect ``project.root``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ...exceptions import LintConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .findings import Finding
+    from .project import Project
+
+CheckFn = Callable[["Project"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One registered invariant check."""
+
+    code: str
+    name: str
+    summary: str
+    check: CheckFn
+
+
+#: code -> Rule.  Populated by importing :mod:`repro.devtools.lint.rules`.
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str) -> Callable[[CheckFn], CheckFn]:
+    """Register ``check`` under ``code`` (e.g. ``RPR001``)."""
+
+    def register(check: CheckFn) -> CheckFn:
+        if code in RULES:
+            raise LintConfigError(f"duplicate lint rule code {code!r}")
+        RULES[code] = Rule(code=code, name=name, summary=summary, check=check)
+        return check
+
+    return register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by code."""
+    _load_builtin_rules()
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def select_rules(codes: Iterable[str] | None) -> list[Rule]:
+    """The rules for ``codes`` (all rules when ``codes`` is None)."""
+    rules = all_rules()
+    if codes is None:
+        return rules
+    wanted = {code.strip().upper() for code in codes if code.strip()}
+    unknown = wanted - {r.code for r in rules}
+    if unknown:
+        raise LintConfigError(
+            f"unknown lint rule code(s): {', '.join(sorted(unknown))}"
+        )
+    return [r for r in rules if r.code in wanted]
+
+
+def _load_builtin_rules() -> None:
+    # Import for the registration side effect; idempotent.
+    from . import rules  # noqa: F401

@@ -1,0 +1,11 @@
+"""Built-in rules.  Importing this package registers every ``RPR###``."""
+
+from . import (  # noqa: F401
+    determinism,
+    exception_discipline,
+    hygiene,
+    optional_deps,
+    parallel,
+    rng,
+    schema_drift,
+)

@@ -1,0 +1,130 @@
+"""RPR001/RPR002: stage-reachable code must be cache-deterministic.
+
+``ArtifactStore`` keys an artifact by (source fingerprint, stage code
+token, transitive dependency keys) — *not* by the stage's output.  The
+cached == cold byte-identical guarantee therefore assumes every
+function a stage can reach computes the same value on every run: a
+``time.time()`` call or an ``os.environ`` read produces artifacts the
+store will happily serve forever under a key that never captured them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import Project
+
+#: Fully qualified callables that read wall clocks or entropy pools.
+NONDETERMINISTIC_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: Module prefixes whose *module-level* functions share hidden global
+#: RNG state (never seedable per call site).
+NONDETERMINISTIC_PREFIXES = ("random.", "secrets.", "numpy.random.")
+
+#: numpy.random names that are explicit-seed constructors, fine when
+#: called with a seed argument (the zero-arg case is RPR008's).
+_SEEDABLE_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "random.Random",
+}
+
+#: Environment reads (value can differ between the run that published
+#: an artifact and the run that loads it).
+ENVIRON_READS = {"os.environ", "os.environb", "os.getenv", "os.getenvb"}
+
+
+def _is_nondeterministic(resolved: str, call: ast.Call | None) -> bool:
+    if resolved in NONDETERMINISTIC_CALLS:
+        return True
+    if resolved in _SEEDABLE_CONSTRUCTORS:
+        return call is not None and not call.args and not call.keywords
+    return resolved.startswith(NONDETERMINISTIC_PREFIXES)
+
+
+def _reachable_findings(project: "Project", code: str) -> Iterator[Finding]:
+    graph = project.callgraph
+    for qualname, reach in sorted(graph.reachable.items()):
+        decl = project.functions.get(qualname)
+        if decl is None:
+            continue
+        module = decl.module
+        stage = reach.root.stage_name or "<anonymous>"
+        chain = " -> ".join(graph.chain(qualname))
+        for node in ast.walk(decl.node):
+            if code == "RPR001" and isinstance(node, ast.Call):
+                resolved = (
+                    module.resolve(node.func)
+                    if isinstance(node.func, (ast.Name, ast.Attribute))
+                    else None
+                )
+                if resolved and _is_nondeterministic(resolved, node):
+                    yield Finding(
+                        code,
+                        module.rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"nondeterministic call {resolved}() in code "
+                        f"reachable from stage {stage!r} (via {chain}); "
+                        "this poisons ArtifactStore content keys — thread "
+                        "a seeded value through the stage instead",
+                    )
+            elif code == "RPR002" and isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = module.resolve(node)
+                if resolved in ENVIRON_READS and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    yield Finding(
+                        code,
+                        module.rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"environment read {resolved} in code reachable "
+                        f"from stage {stage!r} (via {chain}); cached and "
+                        "cold runs may see different values — pass it in "
+                        "through PipelineConfig/params",
+                    )
+
+
+@rule(
+    "RPR001",
+    "stage-nondeterminism",
+    "stage-reachable code must not read clocks or unseeded RNGs "
+    "(breaks cached == cold artifact parity)",
+)
+def check_stage_determinism(project: "Project") -> Iterator[Finding]:
+    yield from _reachable_findings(project, "RPR001")
+
+
+@rule(
+    "RPR002",
+    "stage-environ-read",
+    "stage-reachable code must not read os.environ "
+    "(cache keys never capture the environment)",
+)
+def check_stage_environ(project: "Project") -> Iterator[Finding]:
+    yield from _reachable_findings(project, "RPR002")

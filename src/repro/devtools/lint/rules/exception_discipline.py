@@ -1,0 +1,79 @@
+"""RPR007: library code raises the repro.exceptions taxonomy.
+
+``ReproError`` exists so callers can catch one base class at an API
+boundary without swallowing unrelated bugs.  Every ``raise
+ValueError(...)`` in library code punches a hole in that contract —
+the caller either misses it or widens its except clause until it
+catches genuine defects.  Argument-validation raises inside
+``validate*`` functions, ``__init__``/``__post_init__`` constructors,
+and ``*validator*`` modules are exempt (and the taxonomy offers
+``ConfigError``, which subclasses ``ValueError``, when compatibility
+matters).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import Project
+
+#: Builtin exceptions library code must not raise directly.
+FORBIDDEN_RAISES = {"Exception", "BaseException", "ValueError", "RuntimeError"}
+
+#: Enclosing function names whose raises are validation by definition.
+_VALIDATOR_FUNCTIONS = {"__init__", "__post_init__"}
+
+
+def _exempt_scope(scope: list[str]) -> bool:
+    for name in scope:
+        if name in _VALIDATOR_FUNCTIONS or "validate" in name.lower():
+            return True
+    return False
+
+
+@rule(
+    "RPR007",
+    "exception-taxonomy",
+    "library code raises repro.exceptions classes, not bare builtins "
+    "(outside validators/constructors)",
+)
+def check_exception_taxonomy(project: "Project") -> Iterator[Finding]:
+    for module in project.modules:
+        if module.tree is None or not module.name.startswith("repro."):
+            continue
+        if "validator" in module.name.rsplit(".", 1)[-1]:
+            continue
+        yield from _walk(module, module.tree.body, [])
+
+
+def _walk(module, body: list[ast.stmt], scope: list[str]):
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield from _walk(module, node.body, [*scope, node.name])
+            continue
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Raise) or child.exc is None:
+                continue
+            exc = child.exc
+            name_node = exc.func if isinstance(exc, ast.Call) else exc
+            if not isinstance(name_node, ast.Name):
+                continue
+            if name_node.id not in FORBIDDEN_RAISES:
+                continue
+            if _exempt_scope(scope):
+                continue
+            yield Finding(
+                "RPR007",
+                module.rel,
+                child.lineno,
+                child.col_offset + 1,
+                f"raise of builtin {name_node.id} in library code; use "
+                "the repro.exceptions taxonomy (ConfigError subclasses "
+                "ValueError when callers rely on it)",
+            )

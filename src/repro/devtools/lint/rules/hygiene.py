@@ -1,0 +1,79 @@
+"""RPR009: no bytecode or cache artifacts tracked by git.
+
+Committed ``.pyc`` files are stale the moment anyone else runs the
+code, bloat every clone, and produce phantom diffs on unrelated PRs.
+This repository-level rule asks ``git ls-files`` (when the lint root is
+a work tree) and flags anything matching the artifact patterns that
+``.gitignore`` is supposed to keep out.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import Project
+
+#: Path components that mark a tracked file as a build/cache artifact.
+ARTIFACT_DIRS = {
+    "__pycache__",
+    ".pytest_cache",
+    ".hypothesis",
+    ".repro-cache",
+    ".ruff_cache",
+}
+
+#: Tracked-file suffixes that are always build artifacts.
+ARTIFACT_SUFFIXES = (".pyc", ".pyo", ".pyd")
+
+
+def _tracked_files(root) -> list[str] | None:
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "ls-files"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.splitlines()
+
+
+@rule(
+    "RPR009",
+    "tracked-artifacts",
+    "bytecode/cache files (__pycache__, *.pyc, .pytest_cache, "
+    "*.egg-info) must not be tracked by git",
+)
+def check_tracked_artifacts(project: "Project") -> Iterator[Finding]:
+    tracked = _tracked_files(project.root)
+    if tracked is None:
+        return
+    for path in tracked:
+        parts = path.split("/")
+        reason = None
+        if set(parts) & ARTIFACT_DIRS:
+            reason = "bytecode/cache directory content"
+        elif path.endswith(ARTIFACT_SUFFIXES):
+            reason = "compiled bytecode"
+        elif any(part.endswith(".egg-info") for part in parts):
+            reason = "setuptools metadata"
+        if reason is None:
+            continue
+        yield Finding(
+            "RPR009",
+            path,
+            0,
+            0,
+            f"tracked {reason}; `git rm -r --cached` it and keep it "
+            "out via .gitignore",
+        )

@@ -1,0 +1,87 @@
+"""RPR008: every RNG in library code is constructed with an explicit seed.
+
+The simulation is the paper's dataset: reproducing Table 5 requires the
+whole record stream to be a pure function of ``(scenario, seed)``.  A
+zero-argument ``np.random.default_rng()`` — or any call into the
+module-level global RNGs of ``random``/``numpy.random`` — makes output
+depend on process history, which breaks replays *and* the artifact
+cache's cached == cold guarantee in one stroke.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import Project
+
+#: Explicit-seed constructors: flagged only when called with no args.
+SEEDABLE_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+#: Module prefixes whose plain functions use hidden global RNG state.
+GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+
+#: numpy.random attributes that are types/constructors, not the global
+#: RNG's methods (allowed as annotations and seeded constructions).
+_NON_GLOBAL = {
+    "numpy.random.Generator",
+    "numpy.random.BitGenerator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+}
+
+
+@rule(
+    "RPR008",
+    "unseeded-rng",
+    "RNGs must be constructed with explicit seeds; module-level "
+    "random/np.random functions share hidden global state",
+)
+def check_unseeded_rng(project: "Project") -> Iterator[Finding]:
+    for module in project.modules:
+        if module.tree is None or not module.name.startswith("repro."):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, (ast.Name, ast.Attribute)):
+                continue
+            resolved = module.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved in SEEDABLE_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield Finding(
+                        "RPR008",
+                        module.rel,
+                        node.lineno,
+                        node.col_offset + 1,
+                        f"{resolved}() constructed without a seed; "
+                        "thread the scenario seed through so replays "
+                        "are a pure function of (scenario, seed)",
+                    )
+                continue
+            if resolved in _NON_GLOBAL:
+                continue
+            if resolved.startswith(GLOBAL_RNG_PREFIXES):
+                yield Finding(
+                    "RPR008",
+                    module.rel,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"{resolved}() draws from the module-level global "
+                    "RNG; construct a seeded Generator/Random instance "
+                    "and pass it down instead",
+                )

@@ -47,6 +47,24 @@ class MissingDependencyError(ReproError):
     """
 
 
+class ConfigError(ReproError, ValueError):
+    """An invalid argument or configuration value was supplied.
+
+    Subclasses :class:`ValueError` so argument-validation call sites
+    migrated from bare ``ValueError`` stay catchable by existing
+    callers, while still folding into the :class:`ReproError` taxonomy.
+    """
+
+
+class LintError(ReproError):
+    """Base class for :mod:`repro.devtools.lint` errors."""
+
+
+class LintConfigError(LintError):
+    """The linter was invoked with bad arguments (unknown rule code,
+    malformed baseline file)."""
+
+
 class SimulationError(ReproError):
     """The simulation engine was misconfigured or reached a bad state."""
 
@@ -63,6 +81,13 @@ class PipelineError(ReproError):
     """A pipeline definition is invalid (duplicate stage names,
     unknown dependencies, dependency cycles) or a requested artifact
     does not exist."""
+
+
+class ArtifactCorruptionError(PipelineError):
+    """A cached artifact failed its integrity checks (bad header or
+    checksum mismatch).  Handled internally by the store's
+    drop-and-recompute fallback; surfacing one means the fallback
+    itself is broken."""
 
 
 class UnknownBotError(ReproError):

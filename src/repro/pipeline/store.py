@@ -43,7 +43,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..exceptions import PipelineError
+from ..exceptions import ArtifactCorruptionError, PipelineError
 from ..logs.columnar import RecordBatch, iter_batches, rechunk
 from ..logs.schema import RAW_COLUMNS
 
@@ -351,12 +351,12 @@ class ArtifactStore:
             return "miss", None
         try:
             if not blob.startswith(_MAGIC):
-                raise ValueError("bad artifact header")
+                raise ArtifactCorruptionError("bad artifact header")
             body = blob[len(_MAGIC) :]
             _stage, _, body = body.partition(b"\n")
             digest, _, payload = body.partition(b"\n")
             if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
-                raise ValueError("artifact checksum mismatch")
+                raise ArtifactCorruptionError("artifact checksum mismatch")
             value = pickle.loads(payload)
         except Exception:
             # Torn copy, external truncation, a pre-v2 layout, or an

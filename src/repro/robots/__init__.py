@@ -17,14 +17,6 @@ The public surface of this package:
 from .builder import RobotsBuilder
 from .cache import DEFAULT_TTL_SECONDS, RobotsCache
 from .compiled import CompiledPolicy, CompiledRule, CompiledRuleSet
-from .diff import (
-    AccessChange,
-    AccessDelta,
-    RobotsDiff,
-    diff_policies,
-    diff_robots,
-    render_diff,
-)
 from .corpus import (
     EXEMPT_SEO_BOTS,
     RobotsVersion,
@@ -32,6 +24,14 @@ from .corpus import (
     build_version,
     policy_for_version,
     render_version,
+)
+from .diff import (
+    AccessChange,
+    AccessDelta,
+    RobotsDiff,
+    diff_policies,
+    diff_robots,
+    render_diff,
 )
 from .fetchstate import (
     FetchDisposition,

@@ -15,6 +15,7 @@ want to generate policy files programmatically::
 
 from __future__ import annotations
 
+from ..exceptions import ConfigError
 from .model import Group, RobotsFile, Rule, RuleType
 from .policy import RobotsPolicy
 
@@ -37,10 +38,10 @@ class RobotsBuilder:
     def group(self, *user_agents: str) -> "RobotsBuilder":
         """Open a new group for one or more user-agent tokens."""
         if not user_agents:
-            raise ValueError("group() needs at least one user-agent token")
+            raise ConfigError("group() needs at least one user-agent token")
         for token in user_agents:
             if not token or token.strip() != token:
-                raise ValueError(f"invalid user-agent token: {token!r}")
+                raise ConfigError(f"invalid user-agent token: {token!r}")
         self._groups.append(Group(user_agents=list(user_agents)))
         return self
 
@@ -64,7 +65,7 @@ class RobotsBuilder:
     def crawl_delay(self, seconds: float) -> "RobotsBuilder":
         """Set the current group's crawl delay (seconds, >= 0)."""
         if seconds < 0:
-            raise ValueError("crawl delay must be non-negative")
+            raise ConfigError("crawl delay must be non-negative")
         self._current().crawl_delay = float(seconds)
         return self
 
@@ -73,7 +74,7 @@ class RobotsBuilder:
     def sitemap(self, url: str) -> "RobotsBuilder":
         """Record a document-scoped ``Sitemap`` URL."""
         if not url:
-            raise ValueError("sitemap URL must be non-empty")
+            raise ConfigError("sitemap URL must be non-empty")
         self._sitemaps.append(url)
         return self
 
@@ -105,5 +106,5 @@ class RobotsBuilder:
 
     def _current(self) -> Group:
         if not self._groups:
-            raise ValueError("open a group() before adding rules")
+            raise ConfigError("open a group() before adding rules")
         return self._groups[-1]

@@ -130,7 +130,10 @@ _DEFAULT: BotRegistry | None = None
 
 def default_registry() -> BotRegistry:
     """The shared built-in registry (constructed once, then reused)."""
-    global _DEFAULT
+    # Idempotent lazy init: every process computes the identical
+    # registry from the same constant rows, so shard workers racing on
+    # the first call cannot diverge.
+    global _DEFAULT  # lint: ignore[RPR003]
     if _DEFAULT is None:
         _DEFAULT = BotRegistry(records=_records_from_rows(KNOWN_BOT_ROWS))
     return _DEFAULT

@@ -1,5 +1,7 @@
 """Unit tests for the in-memory web substrate."""
 
+import numpy as np
+
 from repro.robots.corpus import RobotsVersion, render_version
 from repro.web.generator import (
     EXPERIMENT_SITE,
@@ -10,8 +12,6 @@ from repro.web.generator import (
 from repro.web.message import Request, Response
 from repro.web.server import WebServer
 from repro.web.site import Page, Website
-
-import numpy as np
 
 
 def make_request(host: str, path: str, timestamp: float = 0.0) -> Request:
