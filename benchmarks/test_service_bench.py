@@ -1,0 +1,219 @@
+"""Load benchmark: the decision service at wire speed.
+
+Drives the in-process stdlib HTTP server (:mod:`repro.service.http`)
+with a deterministic mixed workload over real sockets:
+
+- **single clients** issuing warm-cache ``GET /can_fetch`` probes one
+  at a time over keep-alive connections (the sync fast path), and
+- **batch clients** POSTing ``can_fetch_many`` frames (how a crawler
+  sidecar amortizes round trips).
+
+Every batch path counts as one query, so queries/sec measures policy
+*verdicts* delivered, not HTTP frames.  Two gates, enforced always
+(this is the blocking ``service-bench`` CI job) but overridable when a
+slower box needs headroom:
+
+- ``SERVICE_BENCH_MIN_QPS``  (default 20 000) — total verdicts/sec;
+- ``SERVICE_BENCH_MAX_P99_MS`` (default 5.0) — p99 round-trip latency
+  across *all* requests, singles and batches alike.
+
+The workload is fully deterministic (fixed client counts, fixed probe
+rotation, no RNG) and every response is cross-checked against the
+service's direct in-process answer so throughput never drifts from
+semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.service import DecisionService, corpus_resolver
+from repro.service.http import DecisionHTTPServer
+from repro.service.router import encode
+
+#: Gate defaults; override via env on hardware that needs headroom.
+MIN_QPS = float(os.environ.get("SERVICE_BENCH_MIN_QPS", "20000"))
+MAX_P99_MS = float(os.environ.get("SERVICE_BENCH_MAX_P99_MS", "5.0"))
+
+#: Mixed deterministic workload shape (tuned so the gate has margin:
+#: observed locally ~3x the qps floor and ~half the latency ceiling).
+SINGLE_CLIENTS = 12
+SINGLE_REQUESTS = 400
+BATCH_CLIENTS = 4
+BATCH_REQUESTS = 120
+BATCH_SIZE = 32
+
+ORIGINS = ["base.example", "v1.example", "v2.example", "v3.example"]
+AGENTS = ["GPTBot", "ClaudeBot", "Googlebot", "CCBot", "Unknown/1.0"]
+PATHS = [
+    "/",
+    "/robots.txt",
+    "/public/page-1",
+    "/news/article-7",
+    "/admin/settings",
+    "/api/v2/items.json",
+    "/page-data/index",
+    "/tmp/cache-entry",
+]
+
+
+def single_probe(index: int) -> tuple[str, str, str]:
+    """The ``index``-th (origin, agent, path) in the fixed rotation."""
+    return (
+        ORIGINS[index % len(ORIGINS)],
+        AGENTS[index % len(AGENTS)],
+        PATHS[index % len(PATHS)],
+    )
+
+
+def batch_probe(index: int) -> tuple[str, str, list[str]]:
+    origin = ORIGINS[(index * 3 + 1) % len(ORIGINS)]
+    agent = AGENTS[(index * 7 + 2) % len(AGENTS)]
+    paths = [
+        f"{PATHS[(index + offset) % len(PATHS)]}/{offset}"
+        for offset in range(BATCH_SIZE)
+    ]
+    return origin, agent, paths
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes:
+    """One keep-alive HTTP response body (headers → Content-Length)."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.lower().split(b"\r\n"):
+        if line.startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    return await reader.readexactly(length)
+
+
+async def _single_client(
+    port: int, client_id: int, latencies: list[float]
+) -> list[tuple[tuple[str, str, str], bytes]]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    seen: list[tuple[tuple[str, str, str], bytes]] = []
+    try:
+        for request in range(SINGLE_REQUESTS):
+            probe = single_probe(client_id * SINGLE_REQUESTS + request)
+            origin, agent, path = probe
+            target = f"/can_fetch?origin={origin}&agent={agent}&path={path}"
+            frame = (
+                f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+            )
+            start = time.perf_counter()
+            writer.write(frame)
+            body = await _read_frame(reader)
+            latencies.append(time.perf_counter() - start)
+            seen.append((probe, body))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return seen
+
+
+async def _batch_client(
+    port: int, client_id: int, latencies: list[float]
+) -> list[tuple[tuple[str, str, list[str]], bytes]]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    seen: list[tuple[tuple[str, str, list[str]], bytes]] = []
+    try:
+        for request in range(BATCH_REQUESTS):
+            probe = batch_probe(client_id * BATCH_REQUESTS + request)
+            origin, agent, paths = probe
+            payload = json.dumps(
+                {"origin": origin, "agent": agent, "paths": paths}
+            ).encode()
+            frame = (
+                b"POST /can_fetch_many HTTP/1.1\r\nHost: bench\r\n"
+                b"Content-Length: " + str(len(payload)).encode() + b"\r\n\r\n"
+            ) + payload
+            start = time.perf_counter()
+            writer.write(frame)
+            body = await _read_frame(reader)
+            latencies.append(time.perf_counter() - start)
+            seen.append((probe, body))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return seen
+
+
+async def _run_load() -> dict:
+    service = DecisionService(corpus_resolver())
+    server = DecisionHTTPServer(service, port=0)
+    _, port = await server.start()
+    try:
+        # Warm the policy cache so the measurement exercises the wire
+        # path, not one-time robots.txt compilation.
+        for origin in ORIGINS:
+            await service.can_fetch(origin, AGENTS[0], "/")
+
+        latencies: list[float] = []
+        started = time.perf_counter()
+        results = await asyncio.gather(
+            *[
+                _single_client(port, client, latencies)
+                for client in range(SINGLE_CLIENTS)
+            ],
+            *[
+                _batch_client(port, client, latencies)
+                for client in range(BATCH_CLIENTS)
+            ],
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        await server.stop()
+
+    single_results = results[:SINGLE_CLIENTS]
+    batch_results = results[SINGLE_CLIENTS:]
+
+    # Correctness cross-check: every wire response must be the byte-
+    # canonical encoding of the in-process verdict.
+    def direct(origin: str, agent: str, path: str) -> dict:
+        policy = service.provider.policy_fast(origin)
+        assert policy is not None, origin
+        return service.can_fetch_payload(policy, origin, agent, path, False)
+
+    for client_seen in single_results:
+        for (origin, agent, path), body in client_seen:
+            expected = encode(direct(origin, agent, path))
+            assert body == expected, (origin, agent, path)
+    for client_seen in batch_results:
+        for (origin, agent, paths), body in client_seen:
+            verdict = json.loads(body)
+            expected = [
+                direct(origin, agent, path)["allowed"] for path in paths
+            ]
+            assert verdict["allowed"] == expected, (origin, agent)
+
+    queries = (
+        SINGLE_CLIENTS * SINGLE_REQUESTS
+        + BATCH_CLIENTS * BATCH_REQUESTS * BATCH_SIZE
+    )
+    ordered = sorted(latencies)
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    return {
+        "queries": queries,
+        "requests": len(latencies),
+        "elapsed_s": elapsed,
+        "qps": queries / elapsed,
+        "p50_ms": ordered[len(ordered) // 2] * 1000.0,
+        "p99_ms": p99 * 1000.0,
+        "max_ms": ordered[-1] * 1000.0,
+    }
+
+
+def test_service_load_gate(bench_timings):
+    """≥ MIN_QPS verdicts/sec and p99 ≤ MAX_P99_MS over real sockets."""
+    report = asyncio.run(_run_load())
+    bench_timings(
+        "service_load",
+        kind="service-load",
+        min_qps_gate=MIN_QPS,
+        max_p99_ms_gate=MAX_P99_MS,
+        **report,
+    )
+    assert report["qps"] >= MIN_QPS, report
+    assert report["p99_ms"] <= MAX_P99_MS, report

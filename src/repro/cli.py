@@ -24,6 +24,12 @@ Subcommands:
     (``clear``), or LRU-evict down to a byte budget (``prune
     --max-bytes N``) an incremental-analysis artifact cache created
     with ``--cache-dir``.
+``serve``
+    Run the async robots decision service (``can_fetch`` /
+    ``can_fetch_many`` / ``probe_matrix`` / ``enforce`` / ``stats``
+    over HTTP) against the paper corpus, explicit ``--robots
+    ORIGIN=FILE`` bindings, or a ``--robots-dir`` of ``<origin>.txt``
+    files.
 
 Incremental analysis: ``analyze``/``report`` accept ``--cache-dir`` to
 persist stage artifacts between runs.  Cached artifacts are keyed by a
@@ -42,7 +48,7 @@ import sys
 from pathlib import Path
 
 from . import __version__
-from .exceptions import MissingDependencyError
+from .exceptions import ConfigError, MissingDependencyError
 from .logs.io import (
     LOG_FORMATS,
     convert_log,
@@ -213,6 +219,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="info: break the footprint down per pipeline stage",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the async robots decision service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8041,
+        help="TCP port (0 picks a free port and prints it)",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="robots.txt cache TTL (default: 24h, the Google guideline)",
+    )
+    serve.add_argument(
+        "--robots",
+        action="append",
+        default=[],
+        metavar="ORIGIN=FILE",
+        help="serve FILE as ORIGIN's robots.txt (repeatable)",
+    )
+    serve.add_argument(
+        "--robots-dir",
+        type=Path,
+        default=None,
+        help="directory of <origin>.txt robots files, re-read on TTL refresh",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="enable the enforce endpoint's rate limiter at RPS tokens/s",
+    )
+    serve.add_argument(
+        "--asgi",
+        action="store_true",
+        help="serve via uvicorn (requires the [serve] extra) instead of "
+        "the stdlib asyncio server",
     )
 
     commands.add_parser("versions", help="print the paper's four robots.txt files")
@@ -461,6 +511,55 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_resolver(args: argparse.Namespace):
+    """Build the origin -> robots.txt resolver the serve flags describe."""
+    from .service import corpus_resolver, directory_resolver, static_resolver
+
+    if args.robots:
+        texts: dict[str, str] = {}
+        for binding in args.robots:
+            origin, separator, file_name = binding.partition("=")
+            if not separator or not origin or not file_name:
+                raise ConfigError(
+                    f"--robots expects ORIGIN=FILE, got {binding!r}"
+                )
+            texts[origin] = Path(file_name).read_text(
+                encoding="utf-8", errors="replace"
+            )
+        return static_resolver(texts)
+    if args.robots_dir is not None:
+        return directory_resolver(args.robots_dir)
+    return corpus_resolver()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .deterrence.ratelimit import RateLimiter
+    from .robots.cache import DEFAULT_TTL_SECONDS
+    from .service import DecisionService, run_uvicorn, serve
+
+    limiter = None
+    if args.rate_limit is not None:
+        limiter = RateLimiter(
+            capacity=max(1.0, args.rate_limit),
+            refill_per_second=args.rate_limit,
+        )
+    service = DecisionService(
+        _serve_resolver(args),
+        ttl_seconds=args.ttl if args.ttl is not None else DEFAULT_TTL_SECONDS,
+        limiter=limiter,
+    )
+    if args.asgi:
+        run_uvicorn(service, host=args.host, port=args.port)
+        return 0
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def _cmd_versions(_args: argparse.Namespace) -> int:
     for version in all_versions():
         title = f"# {version.value}: {version.directive_name}"
@@ -501,6 +600,7 @@ _HANDLERS = {
     "diff": _cmd_diff,
     "scorecard": _cmd_scorecard,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
     "versions": _cmd_versions,
     "lint": _cmd_lint,
 }
@@ -510,7 +610,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
-    except MissingDependencyError as exc:
+    except (MissingDependencyError, ConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

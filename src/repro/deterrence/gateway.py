@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..exceptions import ConfigError
 from ..robots.policy import RobotsPolicy
 from ..web.message import Request, Response
 from ..web.server import WebServer
@@ -59,13 +60,38 @@ class GatewayStats:
         return 1.0 - self.served / self.total
 
 
+@dataclass(frozen=True)
+class GatewayVerdict:
+    """Outcome of running the policy chain without touching the origin.
+
+    Attributes:
+        outcome: one of ``served``, ``blocked``, ``robots_denied``,
+            ``throttled``, ``tarpitted`` — the :class:`GatewayStats`
+            counter the request incremented.
+        response: the synthesized deterrence response, or ``None`` for
+            ``served`` (the request may proceed to the origin).
+    """
+
+    outcome: str
+    response: Response | None
+
+    @property
+    def status(self) -> int:
+        """HTTP status a decision-service caller should relay (200
+        means "would be served")."""
+        return 200 if self.response is None else self.response.status
+
+
 @dataclass
 class DeterrenceGateway:
     """Policy chain: blocklist -> robots -> rate limit (+escalation)
     -> tarpit.
 
     Args:
-        server: the origin being protected.
+        server: the origin being protected.  Optional so the chain can
+            run as a pure *decision point* via :meth:`verdict` (the
+            async service consumes it that way); :meth:`handle`
+            requires it.
         blocklist: explicit blocks (optional).
         robots: when set, the robots.txt policy is *enforced*:
             requests it denies get a 403 (evaluated via the policy's
@@ -79,7 +105,7 @@ class DeterrenceGateway:
         tarpit_agents: UA fragments steered into the tarpit.
     """
 
-    server: WebServer
+    server: WebServer | None = None
     blocklist: Blocklist | None = None
     robots: RobotsPolicy | None = None
     limiter: RateLimiter | None = None
@@ -93,6 +119,23 @@ class DeterrenceGateway:
 
     def handle(self, request: Request) -> Response:
         """Apply the policy chain, falling through to the origin."""
+        if self.server is None:
+            raise ConfigError(
+                "this gateway has no origin server; use verdict() for "
+                "decision-only evaluation"
+            )
+        decision = self.verdict(request)
+        if decision.response is not None:
+            return decision.response
+        return self.server.handle(request)
+
+    def verdict(self, request: Request) -> GatewayVerdict:
+        """Run the policy chain and report the outcome without
+        forwarding to (or requiring) an origin server.
+
+        Stats are updated exactly as :meth:`handle` would; a
+        ``served`` verdict means the chain let the request through.
+        """
         now = request.timestamp
         if self.blocklist is not None:
             reason = self.blocklist.is_blocked(
@@ -100,12 +143,16 @@ class DeterrenceGateway:
             )
             if reason is not None:
                 self.stats.blocked += 1
-                return Response(status=403, body_bytes=0)
+                return GatewayVerdict(
+                    "blocked", Response(status=403, body_bytes=0)
+                )
         if self.robots is not None and not self.robots.can_fetch(
             self._robots_token(request.user_agent), request.path
         ):
             self.stats.robots_denied += 1
-            return Response(status=403, body_bytes=0)
+            return GatewayVerdict(
+                "robots_denied", Response(status=403, body_bytes=0)
+            )
         if self.limiter is not None and not self.limiter.check(
             request.client_ip, request.asn, request.user_agent, now
         ):
@@ -114,18 +161,32 @@ class DeterrenceGateway:
                 self.escalation.record_throttle(
                     request.client_ip, now, self.blocklist
                 )
-            return Response(status=429, body_bytes=0)
+            return GatewayVerdict(
+                "throttled", Response(status=429, body_bytes=0)
+            )
         if self.tarpit is not None and self._should_tarpit(request):
             self.stats.tarpitted += 1
             page = self.tarpit.page(request.path_only)
-            return Response(
-                status=200,
-                body_bytes=page.size_bytes,
-                content_type="text/html",
-                body=page.body.encode("utf-8"),
+            return GatewayVerdict(
+                "tarpitted",
+                Response(
+                    status=200,
+                    body_bytes=page.size_bytes,
+                    content_type="text/html",
+                    body=page.body.encode("utf-8"),
+                ),
             )
         self.stats.served += 1
-        return self.server.handle(request)
+        return GatewayVerdict("served", None)
+
+    def rebind_robots(self, robots: RobotsPolicy | None) -> None:
+        """Swap the enforced robots policy (e.g. after a TTL refresh).
+
+        Clears the per-header product-token memo, which is derived
+        from the bound policy's group tokens.
+        """
+        self.robots = robots
+        self._token_cache.clear()
 
     def _robots_token(self, user_agent: str) -> str:
         """Product token to evaluate robots rules under for a raw

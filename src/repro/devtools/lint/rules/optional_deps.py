@@ -1,10 +1,11 @@
-"""RPR006: pyarrow imports must be guarded optional-dependency imports.
+"""RPR006: optional-extra imports must be guarded.
 
-``pyarrow`` is the ``[parquet]`` extra — the package promises a
-stdlib-only core.  An unguarded ``import pyarrow`` anywhere under
-``repro.*`` turns every entry point that transitively imports that
-module into a hard crash on the majority install, instead of the
-documented :class:`~repro.exceptions.MissingDependencyError` degrade.
+``pyarrow`` (the ``[parquet]`` extra) and ``uvicorn`` (the ``[serve]``
+extra) are optional — the package promises a stdlib-only core.  An
+unguarded import of either anywhere under ``repro.*`` turns every
+entry point that transitively imports that module into a hard crash on
+the majority install, instead of the documented
+:class:`~repro.exceptions.MissingDependencyError` degrade.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..project import Project
 
 #: Distributions that are optional extras (root module names).
-OPTIONAL_MODULES = {"pyarrow"}
+OPTIONAL_MODULES = {"pyarrow", "uvicorn"}
 
 #: Exception names an import guard may catch.
 _GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception"}
@@ -63,8 +64,9 @@ def _optional_root(node: ast.stmt) -> str | None:
 @rule(
     "RPR006",
     "unguarded-optional-import",
-    "pyarrow may only be imported inside try/except ImportError guards "
-    "that degrade to MissingDependencyError",
+    "optional extras (pyarrow, uvicorn) may only be imported inside "
+    "try/except ImportError guards that degrade to "
+    "MissingDependencyError",
 )
 def check_optional_imports(project: "Project") -> Iterator[Finding]:
     for module in project.modules:

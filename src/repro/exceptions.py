@@ -65,6 +65,11 @@ class LintConfigError(LintError):
     malformed baseline file)."""
 
 
+class ServiceError(ReproError):
+    """The decision service was misconfigured or could not answer a
+    query (e.g. its robots.txt resolver failed for an origin)."""
+
+
 class SimulationError(ReproError):
     """The simulation engine was misconfigured or reached a bad state."""
 

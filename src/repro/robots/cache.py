@@ -49,9 +49,18 @@ class RobotsCache:
         max_entries: bound on cache size; the oldest entry is evicted
             when full (simple FIFO-by-fetch-time, sufficient for the
             handful of origins a polite crawler tracks).
+        max_retired: bound on the retired side table.  Under origin
+            churn (many sites seen once, TTL-expired, never refreshed)
+            the side table would otherwise fill with dead entries up
+            to ``max_entries`` and keep them forever; the side table
+            is an optimization, so it gets a much smaller budget.
+            ``0`` disables retention entirely.
         recompilations_avoided: TTL refreshes that yielded a
             byte-identical robots.txt and reused the previously
             compiled policy instead of re-parsing/re-compiling.
+        evictions: live entries dropped because the cache was full.
+        retired_evictions: retired entries dropped because the side
+            table was full (or retention is disabled).
 
     Stale entries are evicted from the live table on access, but
     retained in a bounded side table so :meth:`refresh` can compare
@@ -62,18 +71,35 @@ class RobotsCache:
 
     ttl_seconds: float = DEFAULT_TTL_SECONDS
     max_entries: int = 10_000
+    max_retired: int = 1_000
     recompilations_avoided: int = 0
+    evictions: int = 0
+    retired_evictions: int = 0
     _entries: dict[str, CacheEntry] = field(default_factory=dict, repr=False)
     _retired: dict[str, CacheEntry] = field(default_factory=dict, repr=False)
 
     def _store(
-        self, table: dict[str, CacheEntry], origin: str, entry: CacheEntry
-    ) -> None:
-        """Insert into ``table``, evicting its oldest entry when full."""
-        if origin not in table and len(table) >= self.max_entries:
+        self,
+        table: dict[str, CacheEntry],
+        origin: str,
+        entry: CacheEntry,
+        limit: int,
+    ) -> int:
+        """Insert into ``table`` bounded at ``limit`` entries.
+
+        Returns how many entries were dropped to make room (0 or 1;
+        a non-positive ``limit`` refuses the insert and counts it as
+        one drop).
+        """
+        if limit <= 0:
+            return 1
+        evicted = 0
+        if origin not in table and len(table) >= limit:
             oldest = min(table, key=lambda key: table[key].fetched_at)
             del table[oldest]
+            evicted = 1
         table[origin] = entry
+        return evicted
 
     def get(self, origin: str, now: float) -> RobotsPolicy | None:
         """Return the cached policy for ``origin`` or None when absent/stale."""
@@ -83,7 +109,9 @@ class RobotsCache:
         if now - entry.fetched_at >= self.ttl_seconds:
             # Retire to the side table so refresh() can still reuse it.
             del self._entries[origin]
-            self._store(self._retired, origin, entry)
+            self.retired_evictions += self._store(
+                self._retired, origin, entry, self.max_retired
+            )
             return None
         entry.hits += 1
         return entry.policy
@@ -101,10 +129,11 @@ class RobotsCache:
         refresh detection on later :meth:`refresh` calls.
         """
         self._retired.pop(origin, None)
-        self._store(
+        self.evictions += self._store(
             self._entries,
             origin,
             CacheEntry(policy=policy, fetched_at=now, text=text),
+            self.max_entries,
         )
 
     def refresh(self, origin: str, text: str, now: float) -> RobotsPolicy:
@@ -122,11 +151,29 @@ class RobotsCache:
             self.recompilations_avoided += 1
             entry.fetched_at = now
             self._retired.pop(origin, None)
-            self._store(self._entries, origin, entry)
+            self.evictions += self._store(
+                self._entries, origin, entry, self.max_entries
+            )
             return entry.policy
         policy = RobotsPolicy.from_text(text)
         self.put(origin, policy, now, text=text)
         return policy
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the cache's size and churn counters.
+
+        Cheap by construction (no per-entry walk); suitable for a hot
+        ``/stats`` endpoint.
+        """
+        return {
+            "entries": len(self._entries),
+            "retired": len(self._retired),
+            "max_entries": self.max_entries,
+            "max_retired": self.max_retired,
+            "recompilations_avoided": self.recompilations_avoided,
+            "evictions": self.evictions,
+            "retired_evictions": self.retired_evictions,
+        }
 
     def age(self, origin: str, now: float) -> float | None:
         """Seconds since ``origin`` was fetched, or None when not cached."""

@@ -1,0 +1,42 @@
+"""Async robots decision service: ``can_fetch`` at wire speed.
+
+The long-running policy decision point in front of the compiled
+robots engine — see :mod:`repro.service.core` for the design and
+:mod:`repro.service.http` / :mod:`repro.service.asgi` for the two
+transports.  ``repro-study serve`` is the CLI entry point;
+``benchmarks/test_service_bench.py`` is the load harness that gates
+its throughput and tail latency in CI.
+"""
+
+from .asgi import create_app, create_app_from_corpus, run_uvicorn
+from .core import (
+    DecisionService,
+    EndpointCounter,
+    PolicyProvider,
+    ProviderStats,
+    Resolver,
+    corpus_resolver,
+    directory_resolver,
+    static_resolver,
+)
+from .http import DecisionHTTPServer, ServiceProtocol, serve
+from .router import ServiceRouter, encode
+
+__all__ = [
+    "DecisionHTTPServer",
+    "DecisionService",
+    "EndpointCounter",
+    "PolicyProvider",
+    "ProviderStats",
+    "Resolver",
+    "ServiceProtocol",
+    "ServiceRouter",
+    "corpus_resolver",
+    "create_app",
+    "create_app_from_corpus",
+    "directory_resolver",
+    "encode",
+    "run_uvicorn",
+    "serve",
+    "static_resolver",
+]

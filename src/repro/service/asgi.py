@@ -1,0 +1,103 @@
+"""ASGI front end: the same router behind any ASGI server.
+
+The stdlib server (:mod:`repro.service.http`) is the zero-dependency
+default; this module exposes the identical endpoint surface as an
+ASGI 3 application so operators who already run uvicorn/hypercorn can
+mount the decision service like any other app:
+
+    uvicorn --factory 'repro.service.asgi:create_app_from_corpus'
+
+``uvicorn`` itself is the optional ``[serve]`` extra — importing this
+module never requires it; only :func:`run_uvicorn` does, degrading to
+:class:`~repro.exceptions.MissingDependencyError` with the pip
+incantation when absent (the same contract as the ``[parquet]``
+extra).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import MissingDependencyError, ServiceError
+from .core import DecisionService, corpus_resolver
+from .router import CONTENT_TYPE, ServiceRouter
+
+
+def create_app(service: DecisionService):
+    """An ASGI 3 application over ``service``.
+
+    Handles ``http`` scopes via the shared router (fast path first,
+    so warm-cache verdicts skip the async dispatch) and ``lifespan``
+    scopes with plain acks.
+    """
+    router = ServiceRouter(service)
+
+    async def app(scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+            return
+        if scope["type"] != "http":
+            raise ServiceScopeError(scope["type"])
+        method = scope["method"]
+        query = scope.get("query_string", b"").decode("latin-1")
+        target = scope["path"] + ("?" + query if query else "")
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] == "http.request":
+                body += message.get("body", b"")
+                if not message.get("more_body", False):
+                    break
+            elif message["type"] == "http.disconnect":
+                return
+        response = router.respond_fast(method, target)
+        if response is None:
+            response = await router.respond(method, target, body or None)
+        status, payload = response
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": [
+                    (b"content-type", CONTENT_TYPE.encode("ascii")),
+                    (b"content-length", str(len(payload)).encode("ascii")),
+                ],
+            }
+        )
+        await send({"type": "http.response.body", "body": payload})
+
+    return app
+
+
+class ServiceScopeError(ServiceError):
+    """An ASGI scope type this app does not implement (websocket…)."""
+
+    def __init__(self, scope_type: str) -> None:
+        super().__init__(
+            f"repro.service.asgi only implements http scopes, got "
+            f"{scope_type!r}"
+        )
+
+
+def create_app_from_corpus():
+    """uvicorn ``--factory`` convenience: the paper-corpus service."""
+    return create_app(DecisionService(corpus_resolver()))
+
+
+def run_uvicorn(
+    service: DecisionService, host: str = "127.0.0.1", port: int = 8041
+) -> None:
+    """Serve the ASGI app with uvicorn (the ``[serve]`` extra)."""
+    try:
+        import uvicorn
+    except ImportError as exc:
+        raise MissingDependencyError(
+            "uvicorn is required for --asgi serving; install the extra "
+            "with: pip install repro-robots-study[serve] (the default "
+            "stdlib server needs no extras)"
+        ) from exc
+    uvicorn.run(create_app(service), host=host, port=port, log_level="info")

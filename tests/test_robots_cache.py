@@ -120,3 +120,62 @@ class TestCompiledPolicyReuse:
         cache.invalidate("s")
         second = cache.refresh("s", ROBOTS_TEXT, now=6.0)
         assert second is not first
+
+
+class TestRetiredSideTableBounds:
+    """The retired side table is an optimization, not a second cache:
+    under origin churn it must stay capped and report its evictions."""
+
+    def retire(self, cache: RobotsCache, origin: str, now: float) -> None:
+        cache.refresh(origin, ROBOTS_TEXT, now=now)
+        cache.get(origin, now=now + cache.ttl_seconds + 1.0)
+
+    def test_retired_table_capped_under_churn(self):
+        cache = RobotsCache(ttl_seconds=1.0, max_retired=3)
+        for index in range(10):
+            self.retire(cache, f"site-{index}.example", now=float(index * 10))
+        stats = cache.stats()
+        assert stats["retired"] == 3
+        assert stats["retired_evictions"] == 7
+        assert len(cache) == 0
+
+    def test_retired_eviction_drops_oldest(self):
+        cache = RobotsCache(ttl_seconds=1.0, max_retired=2)
+        for index, origin in enumerate(["a", "b", "c"]):
+            self.retire(cache, origin, now=float(index * 10))
+        # "a" was evicted from the side table; its refresh recompiles.
+        first = cache.refresh("a", ROBOTS_TEXT, now=100.0)
+        assert cache.recompilations_avoided == 0
+        # "c" survived; its refresh reuses the retired compilation.
+        cache.get("c", now=200.0)
+        cache.refresh("c", ROBOTS_TEXT, now=200.0)
+        assert cache.recompilations_avoided >= 1
+        assert first is not None
+
+    def test_zero_max_retired_disables_retention(self):
+        cache = RobotsCache(ttl_seconds=1.0, max_retired=0)
+        first = cache.refresh("s", ROBOTS_TEXT, now=0.0)
+        cache.get("s", now=5.0)  # would retire; retention disabled
+        second = cache.refresh("s", ROBOTS_TEXT, now=6.0)
+        assert second is not first
+        assert cache.stats()["retired"] == 0
+        assert cache.stats()["retired_evictions"] == 1
+
+    def test_live_eviction_counter(self):
+        cache = RobotsCache(max_entries=2)
+        for index, origin in enumerate(["a", "b", "c", "d"]):
+            cache.put(origin, make_policy(), now=float(index))
+        assert cache.stats()["evictions"] == 2
+        assert cache.stats()["entries"] == 2
+
+    def test_stats_snapshot_keys(self):
+        stats = RobotsCache().stats()
+        assert stats == {
+            "entries": 0,
+            "retired": 0,
+            "max_entries": 10_000,
+            "max_retired": 1_000,
+            "recompilations_avoided": 0,
+            "evictions": 0,
+            "retired_evictions": 0,
+        }
