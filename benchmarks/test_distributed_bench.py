@@ -1,0 +1,202 @@
+"""Wall-clock benchmark: the queue-backed distributed executor.
+
+Establishes the perf contract of :mod:`repro.distributed` (this is the
+blocking ``distributed-bench`` CI job):
+
+- **overhead gate** — on a small corpus, routing shard maps through
+  the filesystem spool (task files, pickled payload blobs, worker
+  processes, lease heartbeats) must cost at most
+  ``DISTRIBUTED_BENCH_MAX_OVERHEAD`` (default 1.5×) the inline
+  executor's wall-clock.  The spool machinery is pure overhead here,
+  so this bounds the fixed per-run tax and is enforced everywhere.
+- **speedup gate** — on a large registry-miss-heavy corpus, the queue
+  executor with ``BENCH_WORKERS`` local workers must beat the inline
+  sequential run by ``DISTRIBUTED_BENCH_MIN_SPEEDUP`` (default 1.5×).
+  Like the other wall-clock speedup benches, this is enforced only
+  off-CI on hosts with enough usable cores; elsewhere it is advisory
+  (printed and recorded in the BENCH_JSON artifact either way).
+
+Both measurements run against a *fresh* spool each round — spool
+results are content-keyed and persistent, so reusing one would turn
+the second round into a cache read and measure nothing.  Parity is
+cross-checked before any timing: speed must never drift from
+semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import time
+
+from repro.bots.profiles import build_profiles
+from repro.logs.schema import LogRecord
+from repro.pipeline import PipelineConfig, build_study_pipeline
+from repro.simulation import quick_scenario
+
+#: Gate defaults; override via env on hardware that needs headroom.
+MAX_OVERHEAD = float(os.environ.get("DISTRIBUTED_BENCH_MAX_OVERHEAD", "1.5"))
+MIN_SPEEDUP = float(os.environ.get("DISTRIBUTED_BENCH_MIN_SPEEDUP", "1.5"))
+
+BENCH_WORKERS = 4
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+#: Hard speedup gate only off-CI with enough cores for real workers.
+ENFORCE_SPEEDUP = not os.environ.get("CI") and usable_cores() >= BENCH_WORKERS
+
+
+def best_time(fn, repeats: int = 2) -> float:
+    """Minimum wall-clock of ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_corpus(sites: int, per_site: int, seed: int = 7) -> list[LogRecord]:
+    """Deterministic multi-site corpus, ~30 % known bots, the rest
+    unique browser UA variants (the registry-miss enrichment path the
+    sharded preprocess parallelizes)."""
+    rng = random.Random(seed)
+    bot_agents = [profile.user_agent for profile in build_profiles()[:12]]
+    paths = ("/", "/people/faculty", "/robots.txt", "/docs/paper.pdf")
+    asns = (15169, 8075, 4837, 132203, 16509)
+    records: list[LogRecord] = []
+    base = 1_735_689_600.0
+    for site_index in range(sites):
+        site = f"dept-{site_index:02d}.university.edu"
+        for i in range(per_site):
+            if rng.random() < 0.3:
+                agent = rng.choice(bot_agents)
+            else:
+                agent = (
+                    f"Mozilla/5.0 (X11; Linux x86_64; "
+                    f"rv:{rng.randrange(90, 140)}.0) "
+                    f"Gecko/20100101 Custom/{site_index}.{i}"
+                )
+            records.append(
+                LogRecord(
+                    useragent=agent,
+                    timestamp=base + i * 3.7 + site_index,
+                    ip_hash=f"ip-{rng.randrange(4000)}",
+                    asn=rng.choice(asns),
+                    sitename=site,
+                    uri_path=rng.choice(paths),
+                    status_code=200,
+                    bytes_sent=1000,
+                )
+            )
+    return records
+
+
+def _run(records: list[LogRecord], executor: str, jobs: int):
+    """Preprocess + site tallies under the given executor; a queue run
+    gets its own throwaway spool so nothing is served from a previous
+    round's content-keyed results."""
+
+    def build(config: PipelineConfig):
+        pipeline = build_study_pipeline(
+            source=list(records),
+            scenario=quick_scenario(),
+            config=config,
+        )
+        kept, report = pipeline.get("preprocess")
+        traffic = pipeline.get("site_traffic")
+        return kept, report, traffic
+
+    if executor == "queue":
+        with tempfile.TemporaryDirectory() as spool:
+            return build(
+                PipelineConfig(
+                    jobs=jobs,
+                    shard_by="site",
+                    executor="queue",
+                    spool=os.path.join(spool, "spool"),
+                    workers=jobs,
+                )
+            )
+    return build(PipelineConfig(jobs=jobs, shard_by="site", executor=executor))
+
+
+def _assert_parity(queue_result, inline_result) -> None:
+    kept_q, report_q, traffic_q = queue_result
+    kept_i, report_i, traffic_i = inline_result
+    assert report_q == report_i
+    assert traffic_q == traffic_i
+    assert [r.to_dict() for r in kept_q] == [r.to_dict() for r in kept_i]
+
+
+def test_queue_overhead_small_corpus(bench_timings):
+    """Spool + worker machinery costs ≤ MAX_OVERHEAD× inline."""
+    records = build_corpus(sites=8, per_site=600)
+    _assert_parity(
+        _run(records, "queue", BENCH_WORKERS),
+        _run(records, "inline", BENCH_WORKERS),
+    )
+    inline = best_time(lambda: _run(records, "inline", BENCH_WORKERS))
+    queue = best_time(lambda: _run(records, "queue", BENCH_WORKERS))
+    overhead = queue / inline
+    print(
+        f"\nqueue overhead over {len(records):,} records / 8 sites: "
+        f"inline {inline:.3f}s, queue {queue:.3f}s, "
+        f"overhead {overhead:.2f}x (gate ≤ {MAX_OVERHEAD}x)"
+    )
+    bench_timings(
+        "distributed/queue_overhead",
+        records=len(records),
+        inline_s=inline,
+        queue_s=queue,
+        overhead=round(overhead, 3),
+        max_overhead_gate=MAX_OVERHEAD,
+        workers=BENCH_WORKERS,
+        enforced=True,
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"queue executor took {queue:.3f}s vs {inline:.3f}s inline — "
+        f"{overhead:.2f}x is over the {MAX_OVERHEAD}x overhead gate"
+    )
+
+
+def test_queue_speedup_large_corpus(bench_timings):
+    """Queue with {BENCH_WORKERS} workers ≥ MIN_SPEEDUP× sequential."""
+    records = build_corpus(sites=16, per_site=1200)
+    _assert_parity(
+        _run(records, "queue", BENCH_WORKERS), _run(records, "inline", 1)
+    )
+    sequential = best_time(lambda: _run(records, "inline", 1))
+    queued = best_time(lambda: _run(records, "queue", BENCH_WORKERS))
+    speedup = sequential / queued
+    gate = "enforced" if ENFORCE_SPEEDUP else (
+        f"advisory ({usable_cores()} cores, CI={bool(os.environ.get('CI'))})"
+    )
+    print(
+        f"\nqueue speedup over {len(records):,} records / 16 sites: "
+        f"sequential {sequential:.3f}s, queue x{BENCH_WORKERS} workers "
+        f"{queued:.3f}s, speedup {speedup:.2f}x [{gate}]"
+    )
+    bench_timings(
+        "distributed/queue_speedup",
+        records=len(records),
+        sequential_s=sequential,
+        queue_s=queued,
+        speedup=round(speedup, 3),
+        min_speedup_gate=MIN_SPEEDUP,
+        workers=BENCH_WORKERS,
+        enforced=ENFORCE_SPEEDUP,
+    )
+    if ENFORCE_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"queue at {BENCH_WORKERS} workers took {queued:.3f}s vs "
+            f"{sequential:.3f}s sequential — {speedup:.2f}x is under the "
+            f"{MIN_SPEEDUP}x speedup gate"
+        )

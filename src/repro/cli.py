@@ -30,6 +30,11 @@ Subcommands:
     over HTTP) against the paper corpus, explicit ``--robots
     ORIGIN=FILE`` bindings, or a ``--robots-dir`` of ``<origin>.txt``
     files.
+``worker``
+    Serve a distributed-analysis spool: claim shard tasks enqueued by
+    ``analyze --executor queue --spool DIR``, run them under a
+    heartbeat-renewed lease, and publish results atomically.  Start
+    any number, on any host that can reach the spool directory.
 
 Incremental analysis: ``analyze``/``report`` accept ``--cache-dir`` to
 persist stage artifacts between runs.  Cached artifacts are keyed by a
@@ -123,6 +128,41 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("site", "ip"),
         default="site",
         help="hash-partition key for sharded analysis",
+    )
+    analyze.add_argument(
+        "--executor",
+        choices=("process", "thread", "inline", "queue"),
+        default="process",
+        help=(
+            "shard backend; 'queue' dispatches shards through a "
+            "filesystem spool served by worker processes (requires "
+            "--spool, see also the 'worker' subcommand)"
+        ),
+    )
+    analyze.add_argument(
+        "--spool",
+        type=Path,
+        default=None,
+        help="spool directory for --executor queue (shared with workers)",
+    )
+    analyze.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "local worker processes the queue executor spawns "
+            "(default: --jobs; 0 relies on externally started workers)"
+        ),
+    )
+    analyze.add_argument(
+        "--remote-store",
+        type=Path,
+        default=None,
+        help=(
+            "remote artifact-store directory (e.g. on a shared "
+            "filesystem) backing --cache-dir, so several hosts share "
+            "one artifact cache"
+        ),
     )
     analyze.add_argument(
         "--experiments",
@@ -265,6 +305,40 @@ def build_parser() -> argparse.ArgumentParser:
         "the stdlib asyncio server",
     )
 
+    worker = commands.add_parser(
+        "worker",
+        help="serve a distributed-analysis spool as a worker process",
+    )
+    worker.add_argument(
+        "--spool",
+        type=Path,
+        required=True,
+        help="spool directory (as passed to analyze --executor queue)",
+    )
+    worker.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease TTL; a worker dead for longer forfeits its shard "
+        "(default: 30s)",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sleep between empty-queue checks (default: 0.05s)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long without claiming a task "
+        "(default: serve until interrupted)",
+    )
+
     commands.add_parser("versions", help="print the paper's four robots.txt files")
 
     lint = commands.add_parser(
@@ -382,11 +456,24 @@ def _print_cache_stats(analysis: StudyAnalysis, args: argparse.Namespace) -> Non
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.executor == "queue" and args.spool is None:
+        raise ConfigError("--executor queue requires --spool DIR")
+    if args.remote_store is not None and args.cache_dir is None:
+        raise ConfigError("--remote-store requires --cache-dir")
+    remote_store = None
+    if args.remote_store is not None:
+        from .distributed import DirectoryRemoteStore
+
+        remote_store = DirectoryRemoteStore(args.remote_store)
     analysis = StudyAnalysis.from_source(
         _record_reader(args),
         scenario=default_scenario(seed=args.seed),
         jobs=args.jobs,
         shard_by=args.shard_by,
+        executor=args.executor,
+        spool=None if args.spool is None else str(args.spool),
+        workers=args.workers,
+        remote_store=remote_store,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
     )
@@ -560,6 +647,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Serve a spool until interrupted (or idle past --max-idle)."""
+    from .distributed import FilesystemSpool, run_worker
+    from .distributed.lease import DEFAULT_LEASE_TTL
+    from .distributed.worker import DEFAULT_POLL, default_worker_id
+
+    worker_id = default_worker_id()
+    print(
+        f"worker {worker_id} serving spool {args.spool}", file=sys.stderr
+    )
+    try:
+        processed = run_worker(
+            FilesystemSpool(args.spool),
+            worker_id=worker_id,
+            ttl=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL,
+            poll=args.poll if args.poll is not None else DEFAULT_POLL,
+            max_idle=args.max_idle,
+        )
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 0
+    print(f"worker {worker_id} processed {processed} task(s)", file=sys.stderr)
+    return 0
+
+
 def _cmd_versions(_args: argparse.Namespace) -> int:
     for version in all_versions():
         title = f"# {version.value}: {version.directive_name}"
@@ -601,6 +713,7 @@ _HANDLERS = {
     "scorecard": _cmd_scorecard,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "versions": _cmd_versions,
     "lint": _cmd_lint,
 }

@@ -29,6 +29,10 @@ preconditions behind them:
     RNGs are constructed with explicit seeds everywhere.
 ``RPR009``
     No bytecode/cache artifacts tracked by git.
+``RPR010``
+    Code reachable from the distributed worker/queue roots writes
+    durable spool and lease files only through the atomic
+    write-temp-then-rename helper — never in place.
 
 Findings can be silenced inline (``# lint: ignore[RPR###]``) or
 grandfathered in a committed baseline (``--write-baseline``).  Run via

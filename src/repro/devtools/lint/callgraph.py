@@ -54,6 +54,12 @@ class CallGraph:
     #: the subset reachable from ShardStage *workers* (runs in
     #: subprocesses under the process executor)
     shard_reachable: dict[str, Reach] = field(default_factory=dict)
+    #: functions reachable from the distributed worker/queue roots
+    #: (``repro.distributed``).  Kept strictly separate from
+    #: ``reachable``: lease/heartbeat code legitimately reads clocks,
+    #: so the stage-determinism rules must never see it; only the
+    #: spool-hygiene rule (RPR010) consumes this table.
+    distributed_reachable: dict[str, Reach] = field(default_factory=dict)
 
     def chain(
         self, qualname: str, table: dict[str, Reach] | None = None
@@ -75,6 +81,10 @@ class CallGraph:
         return links
 
 
+#: Module prefix whose functions are distributed worker/queue roots.
+_DISTRIBUTED_PACKAGE = "repro.distributed"
+
+
 def build_callgraph(project: "Project") -> CallGraph:
     graph = CallGraph()
     for module in project.modules:
@@ -82,6 +92,7 @@ def build_callgraph(project: "Project") -> CallGraph:
             continue
         _collect_roots(project, module, graph.roots)
     _walk_reachability(project, graph)
+    _walk_distributed(project, graph)
     return graph
 
 
@@ -247,6 +258,44 @@ def _walk_reachability(project: "Project", graph: CallGraph) -> None:
             worklist.append(
                 (callee, Reach(callee, reach.root, via=qualname), from_worker)
             )
+
+
+def _walk_distributed(project: "Project", graph: CallGraph) -> None:
+    """Populate ``distributed_reachable`` from the worker/queue roots.
+
+    Every function and method defined under :data:`_DISTRIBUTED_PACKAGE`
+    is a root (workers are spawned from several entry points: the
+    coordinator's local pool, the ``repro-study worker`` CLI, tests),
+    and the walk follows the same call-resolution rules as the stage
+    walk — but into a separate table, so the determinism rules keep
+    ignoring lease/heartbeat clock use.
+    """
+    worklist: list[tuple[str, Reach]] = []
+    for qualname, decl in sorted(project.functions.items()):
+        name = decl.module.name
+        if name == _DISTRIBUTED_PACKAGE or name.startswith(
+            _DISTRIBUTED_PACKAGE + "."
+        ):
+            root = StageRoot(
+                stage_name=None,
+                role="distributed",
+                decl=decl,
+                module=decl.module,
+                node=decl.node,
+            )
+            worklist.append((qualname, Reach(qualname, root, via=None)))
+    while worklist:
+        qualname, reach = worklist.pop()
+        if qualname in graph.distributed_reachable:
+            continue
+        graph.distributed_reachable[qualname] = reach
+        decl = project.functions.get(qualname)
+        if decl is None:
+            continue
+        for callee in _callees(project, decl):
+            if callee == qualname:
+                continue
+            worklist.append((callee, Reach(callee, reach.root, via=qualname)))
 
 
 def _callees(project: "Project", decl: "FunctionDecl") -> set[str]:

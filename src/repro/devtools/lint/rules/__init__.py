@@ -8,4 +8,5 @@ from . import (  # noqa: F401
     parallel,
     rng,
     schema_drift,
+    spool_hygiene,
 )

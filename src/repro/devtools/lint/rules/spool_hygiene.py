@@ -1,0 +1,108 @@
+"""RPR010: distributed spool/lease files must be written atomically.
+
+The crash-recovery guarantees of :mod:`repro.distributed` rest on one
+discipline: every durable file another process might read — task
+files, payloads, results, leases — is written to a temp file and
+``os.replace``d into place, via
+:func:`repro.pipeline.store.atomic_write_bytes`.  A direct
+``open(path, "w")`` (or ``Path.write_text``/``write_bytes``) in
+worker-loop or queue code is a torn-read waiting for a SIGKILL: a
+reader can observe a half-written JSON task or a truncated result
+blob, and the "never half-published" invariant dies silently.
+
+The rule walks every function reachable from the distributed roots
+(the ``distributed_reachable`` call-graph table — kept separate from
+the stage tables so determinism rules don't fire on lease clocks) and
+flags any write-mode ``open`` call or ``Path`` write helper.  The
+atomic helper itself is exempt: it is the one place allowed to hold a
+write handle, because nothing reads its temp path.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import FunctionDecl, Project
+
+#: The one function allowed to open files for writing: the atomic
+#: write-temp-then-rename helper everything else must go through.
+_EXEMPT = {"repro.pipeline.store.atomic_write_bytes"}
+
+#: ``Path`` methods that write in place (no temp file, no rename).
+_PATH_WRITERS = {"write_text", "write_bytes"}
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The literal mode of an ``open(...)`` call, if determinable."""
+    mode: ast.expr | None = None
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None and len(call.args) >= 2:
+        mode = call.args[1]
+    if mode is None:
+        return "r"  # open() defaults to read
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic mode: assume the worst
+
+
+def _writes(decl: "FunctionDecl") -> Iterator[tuple[ast.AST, str]]:
+    """(node, description) for each in-place file write in ``decl``."""
+    module = decl.module
+    for node in ast.walk(decl.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = module.resolve(func)
+            if func.id == "open" and (resolved is None or resolved == "open"):
+                mode = _open_mode(node)
+                if mode is None or any(c in mode for c in "wax+"):
+                    yield (
+                        node,
+                        f"open(..., {mode!r})" if mode else "open(...) with a "
+                        "dynamic mode",
+                    )
+        elif isinstance(func, ast.Attribute):
+            if func.attr in _PATH_WRITERS:
+                yield node, f".{func.attr}(...)"
+            elif func.attr == "fdopen":
+                mode = _open_mode(node)
+                if mode is None or any(c in mode for c in "wax+"):
+                    yield node, f"os.fdopen(..., {mode!r})"
+
+
+@rule(
+    "RPR010",
+    "non-atomic-spool-write",
+    "distributed worker/queue code must write durable files via the "
+    "atomic write-temp-then-rename helper",
+)
+def check_spool_writes(project: "Project") -> Iterator[Finding]:
+    graph = project.callgraph
+    for qualname, _reach in sorted(graph.distributed_reachable.items()):
+        if qualname in _EXEMPT:
+            continue
+        decl = project.functions.get(qualname)
+        if decl is None:
+            continue
+        chain = " -> ".join(graph.chain(qualname, graph.distributed_reachable))
+        for node, description in _writes(decl):
+            yield Finding(
+                "RPR010",
+                decl.module.rel,
+                node.lineno,
+                node.col_offset + 1,
+                f"{description} writes a file in place in distributed "
+                f"worker/queue code (via {chain}); durable spool and "
+                "lease files must go through "
+                "repro.pipeline.store.atomic_write_bytes so readers "
+                "never observe a half-written file",
+            )

@@ -1,0 +1,267 @@
+"""The coordinator: enqueue shard tasks, reap dead workers, collect.
+
+:func:`run_sharded_queue` is the queue-backed twin of
+:func:`repro.pipeline.shard.run_sharded`: same contract (worker over
+payloads, results aligned with inputs), different substrate — tasks go
+through a :class:`~repro.distributed.queue.SpoolBackend` and are
+executed by whatever worker processes serve that spool.  With
+``workers > 0`` it spins up a local pool for the duration of the call;
+with ``workers=0`` it only enqueues and watches, relying on standalone
+workers (``repro-study worker --spool DIR``) on this or other hosts.
+
+Crash recovery is built from three properties, not from bookkeeping:
+
+*content-keyed tasks*
+    A task id is a hash of ``(stage, worker, payload)``, so the same
+    shard work always maps to the same spool entries.  A restarted
+    coordinator re-enqueues the same ids, finds the results that
+    already exist, and only waits for the remainder — checkpoint/resume
+    without a checkpoint file.
+*atomic, checksummed results*
+    Workers publish via write-temp-then-rename with a sha256 frame; a
+    result either verifies completely or is treated as absent.  There
+    is no half-published state to repair.
+*lease reaping*
+    Each watch tick, any claimed task whose lease is missing or past
+    its TTL is requeued (the holder is presumed dead).  A task that
+    keeps failing this way exhausts ``max_attempts`` and surfaces as
+    :class:`~repro.exceptions.SpoolError` rather than looping forever.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections.abc import Callable, Sequence
+from contextlib import contextmanager
+from pathlib import Path
+
+from ..exceptions import DistributedError, SpoolError
+from ..pipeline.shard import _process_context
+from .lease import DEFAULT_LEASE_TTL, Lease
+from .queue import PICKLE_PROTOCOL, FilesystemSpool, SpoolBackend, task_id_for
+from .worker import DEFAULT_POLL, decode_outcome, run_worker
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "QueueCoordinator",
+    "local_worker_pool",
+    "run_sharded_queue",
+]
+
+#: A task may be claimed-and-lost this many times before the run aborts.
+DEFAULT_MAX_ATTEMPTS = 5
+
+#: Default ceiling on one queue run, seconds (None disables).
+DEFAULT_TIMEOUT = 600.0
+
+
+class QueueCoordinator:
+    """Drives one batch of shard tasks through a spool to completion."""
+
+    def __init__(
+        self,
+        spool: SpoolBackend,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poll: float = DEFAULT_POLL,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        self.spool = spool
+        self.lease_ttl = lease_ttl
+        self.poll = poll
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+
+    def run(
+        self,
+        worker: Callable[[object], object],
+        payloads: Sequence[object],
+        stage: str = "stage",
+    ) -> list[object]:
+        """Execute ``worker`` over ``payloads`` via the spool.
+
+        Returns results aligned with ``payloads``.  Identical payloads
+        dedupe onto one task (empty shards, notably); each slot still
+        gets an independent copy of the shared result, exactly as if
+        it had been unpickled from its own blob, so downstream
+        mutation of one shard's output cannot alias another's.
+        """
+        if not payloads:
+            return []
+        order: list[str] = []
+        for index, payload in enumerate(payloads):
+            task_id, blob = task_id_for(stage, worker, payload)
+            order.append(task_id)
+            self.spool.enqueue(task_id, stage, index, blob)
+        outcomes = self._watch(set(order), stage)
+        results: list[object] = []
+        served: set[str] = set()
+        for task_id in order:
+            value = outcomes[task_id]
+            if task_id in served:
+                value = pickle.loads(
+                    pickle.dumps(value, protocol=PICKLE_PROTOCOL)
+                )
+            else:
+                served.add(task_id)
+            results.append(value)
+        return results
+
+    def _watch(
+        self, wanted: set[str], stage: str
+    ) -> dict[str, object]:
+        """Poll until every wanted task has a verified result."""
+        outcomes: dict[str, object] = {}
+        attempts: dict[str, int] = {}
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        while True:
+            for task_id in sorted(wanted - set(outcomes)):
+                payload = self.spool.read_result(task_id)
+                if payload is None:
+                    continue
+                outcome = decode_outcome(payload)
+                if outcome is None:
+                    continue  # torn/corrupt: treat as absent, let it re-run
+                status, value = outcome
+                if status == "error":
+                    raise DistributedError(
+                        f"task {task_id} ({stage}) failed in a worker:\n{value}"
+                    )
+                outcomes[task_id] = value
+                # Tidy up after a worker that died between publishing
+                # and acking: finish its claimed -> done transition.
+                self.spool.ack(task_id)
+                self.spool.clear_lease(task_id)
+            if len(outcomes) == len(wanted):
+                return outcomes
+            self._reap(wanted, set(outcomes), attempts, stage)
+            if deadline is not None and time.monotonic() > deadline:
+                missing = sorted(wanted - set(outcomes))
+                raise DistributedError(
+                    f"queue run for stage {stage!r} timed out after "
+                    f"{self.timeout:g}s with {len(missing)} unfinished "
+                    f"task(s): {', '.join(missing[:3])}"
+                    f"{'…' if len(missing) > 3 else ''} — are any workers "
+                    "serving this spool?"
+                )
+            time.sleep(self.poll)
+
+    def _reap(
+        self,
+        wanted: set[str],
+        done: set[str],
+        attempts: dict[str, int],
+        stage: str,
+    ) -> None:
+        """Requeue claimed tasks whose lease is missing or expired."""
+        now = time.time()
+        for task_id in self.spool.claimed_ids():
+            if task_id not in wanted or task_id in done:
+                continue
+            if self.spool.has_result(task_id):
+                continue  # publish landed; the collect pass handles it
+            lease = Lease.read(self.spool, task_id)
+            if lease is not None and not lease.expired(now):
+                continue
+            self.spool.clear_lease(task_id)
+            if not self.spool.requeue(task_id):
+                continue  # raced the worker's own ack/requeue
+            attempts[task_id] = attempts.get(task_id, 0) + 1
+            if attempts[task_id] >= self.max_attempts:
+                raise SpoolError(
+                    f"task {task_id} ({stage}) lost its lease "
+                    f"{attempts[task_id]} times; giving up (are workers "
+                    "being killed faster than the lease TTL "
+                    f"{self.lease_ttl:g}s?)"
+                )
+
+
+@contextmanager
+def local_worker_pool(
+    spool_dir: str | Path,
+    workers: int,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = DEFAULT_POLL,
+):
+    """``workers`` local worker processes serving ``spool_dir``.
+
+    The processes run until the context exits (a multiprocessing event
+    is their stop signal), so one pool can serve several successive
+    stage maps against the same spool.  They are daemons: a crashed
+    coordinator cannot leak workers.
+    """
+    if workers <= 0:
+        yield []
+        return
+    context = _process_context()
+    stop = context.Event()
+    processes = [
+        context.Process(
+            target=_pool_worker,
+            args=(str(spool_dir), stop, lease_ttl, poll),
+            daemon=True,
+            name=f"repro-worker-{index}",
+        )
+        for index in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    try:
+        yield processes
+    finally:
+        stop.set()
+        for process in processes:
+            process.join(timeout=10.0)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+
+
+def _pool_worker(spool_dir: str, stop, lease_ttl: float, poll: float) -> None:
+    """Module-level pool target (picklable under the spawn context)."""
+    run_worker(
+        FilesystemSpool(spool_dir), ttl=lease_ttl, poll=poll, stop=stop
+    )
+
+
+def run_sharded_queue(
+    worker: Callable[[object], object],
+    payloads: Sequence[object],
+    spool: str | Path,
+    workers: int = 1,
+    stage: str = "stage",
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = DEFAULT_POLL,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> list[object]:
+    """Queue-backed :func:`~repro.pipeline.shard.run_sharded`.
+
+    Args:
+        worker: picklable shard worker (module-level function or
+            ``functools.partial`` of one — same constraint as the
+            ``process`` executor).
+        payloads: one entry per shard; results come back aligned.
+        spool: the spool directory (shared with the worker fleet).
+        workers: local worker processes to spin up for this call;
+            ``0`` relies entirely on externally started workers.
+        stage: stage name folded into task ids (and error messages).
+        lease_ttl / poll / timeout / max_attempts: see
+            :class:`QueueCoordinator`.
+    """
+    if not payloads:
+        return []
+    backend = FilesystemSpool(spool)
+    coordinator = QueueCoordinator(
+        backend,
+        lease_ttl=lease_ttl,
+        poll=poll,
+        timeout=timeout,
+        max_attempts=max_attempts,
+    )
+    with local_worker_pool(spool, workers, lease_ttl=lease_ttl, poll=poll):
+        return coordinator.run(worker, payloads, stage=stage)

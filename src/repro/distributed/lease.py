@@ -1,0 +1,180 @@
+"""Worker leases: heartbeat-renewed TTL claims over spool tasks.
+
+A lease is a small JSON document under ``spool/leases/<task_id>.json``
+recording which worker owns a claimed task and until when (a wall-clock
+``expires`` timestamp — multi-host deployments assume loosely
+NTP-synced clocks, and the default TTL leaves seconds of slack, not
+milliseconds).  The protocol:
+
+1. A worker claims a task (atomic rename), then immediately *acquires*
+   a lease for it.  The claim-to-lease window is microseconds wide; a
+   reaper that observes a claimed task with no lease treats it exactly
+   like an expired one and requeues it, which at worst re-runs a shard
+   whose content-keyed, atomically published result makes duplication
+   harmless.
+2. A :class:`Heartbeat` thread renews the lease at ``ttl / 3``
+   intervals while the shard runs.  Renewal re-reads the lease first:
+   if the coordinator reaped it (or another worker now owns it), the
+   renewal raises :class:`~repro.exceptions.LeaseError`, the heartbeat
+   records the loss, and the worker abandons the task without acking.
+3. The coordinator *reaps*: any claimed task whose lease is missing or
+   expired is requeued.  A SIGKILLed worker therefore delays its shard
+   by at most one TTL; the shard itself is re-run safely because
+   results are content-keyed and atomically published.
+
+Clock use here is deliberate and confined: lease code is execution
+plumbing, never reachable from pipeline stage workers, so the
+determinism lint (RPR001) does not apply to it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..exceptions import LeaseError
+from .queue import SpoolBackend
+
+__all__ = ["DEFAULT_LEASE_TTL", "Heartbeat", "Lease"]
+
+#: Default lease TTL in seconds.  Generous for production; tests dial
+#: it down to make expiry observable quickly.
+DEFAULT_LEASE_TTL = 30.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's TTL claim on one task."""
+
+    task_id: str
+    worker_id: str
+    expires: float
+
+    def expired(self, now: float | None = None) -> bool:
+        return (time.time() if now is None else now) > self.expires
+
+    @staticmethod
+    def acquire(
+        spool: SpoolBackend, task_id: str, worker_id: str, ttl: float
+    ) -> "Lease":
+        """Write a fresh lease for ``task_id`` owned by ``worker_id``.
+
+        Called right after the queue claim succeeds; the claim's atomic
+        rename already decided ownership, so the write cannot race
+        another live worker — only a reaper that requeued the task in
+        the tiny claim-to-lease window, which is safe (see the module
+        docstring).
+        """
+        lease = Lease(
+            task_id=task_id, worker_id=worker_id, expires=time.time() + ttl
+        )
+        spool.write_lease(task_id, lease.to_dict())
+        return lease
+
+    @staticmethod
+    def read(spool: SpoolBackend, task_id: str) -> "Lease | None":
+        data = spool.read_lease(task_id)
+        if data is None:
+            return None
+        try:
+            return Lease(
+                task_id=str(data["task"]),
+                worker_id=str(data["worker"]),
+                expires=float(data["expires"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task_id,
+            "worker": self.worker_id,
+            "expires": self.expires,
+        }
+
+    def renew(self, spool: SpoolBackend, ttl: float) -> "Lease":
+        """Extend this lease by ``ttl`` from now.
+
+        Raises :class:`LeaseError` when the on-disk lease is gone or
+        owned by another worker — the task was reaped and re-claimed,
+        so the caller must abandon it (its result may still be
+        published; content keying makes that harmless, but it must not
+        ack).
+        """
+        current = Lease.read(spool, self.task_id)
+        if current is None or current.worker_id != self.worker_id:
+            raise LeaseError(
+                f"lease on {self.task_id} lost by {self.worker_id} "
+                f"(now held by {current.worker_id if current else 'nobody'})"
+            )
+        renewed = Lease(
+            task_id=self.task_id,
+            worker_id=self.worker_id,
+            expires=time.time() + ttl,
+        )
+        spool.write_lease(self.task_id, renewed.to_dict())
+        return renewed
+
+    def release(self, spool: SpoolBackend) -> None:
+        """Delete the lease if this worker still owns it."""
+        current = Lease.read(spool, self.task_id)
+        if current is not None and current.worker_id == self.worker_id:
+            spool.clear_lease(self.task_id)
+
+
+class Heartbeat:
+    """Background renewal of one lease while its shard runs.
+
+    Usage::
+
+        heartbeat = Heartbeat(spool, lease, ttl)
+        heartbeat.start()
+        try:
+            ...  # run the shard worker
+        finally:
+            heartbeat.stop()
+        if heartbeat.lost:
+            ...  # reaped mid-run: do not ack
+
+    ``lost`` flips (and stays) true the first time a renewal fails,
+    which is exactly the "worker considered dead, shard handed away"
+    signal.
+    """
+
+    def __init__(
+        self, spool: SpoolBackend, lease: Lease, ttl: float
+    ) -> None:
+        self._spool = spool
+        self._lease = lease
+        self._ttl = ttl
+        self._interval = max(ttl / 3.0, 0.01)
+        self._stop = threading.Event()
+        self._lost = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-{lease.task_id}", daemon=True
+        )
+
+    @property
+    def lost(self) -> bool:
+        return self._lost.is_set()
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._lease = self._lease.renew(self._spool, self._ttl)
+            except LeaseError:
+                self._lost.set()
+                return
+            except OSError:
+                # Transient spool IO trouble: keep trying until the
+                # coordinator's TTL verdict settles it one way or the
+                # other.
+                continue

@@ -1,0 +1,306 @@
+"""Filesystem-spool work queue: atomic task files, claim-by-rename.
+
+The spool is a plain directory tree shared by one coordinator and any
+number of worker processes (same host via a local path, many hosts via
+a network filesystem)::
+
+    spool/
+      tasks/pending/<task_id>.json   enqueued, unclaimed
+      tasks/claimed/<task_id>.json   leased to a worker
+      tasks/done/<task_id>.json      acknowledged complete
+      payloads/<task_id>            checksummed pickled (worker, payload)
+      results/<task_id>             checksummed pickled outcome
+      leases/<task_id>.json         worker lease (see repro.distributed.lease)
+
+No daemon mediates access.  Every durable write goes through
+:func:`repro.pipeline.store.atomic_write_bytes` (write to a temp file
+in the target directory, ``os.replace`` into place), so a reader never
+observes a half-written file; queue state transitions are single
+``os.replace`` calls between the three ``tasks/`` subdirectories, so
+claiming is race-free — when two workers grab the same pending task,
+exactly one rename succeeds and the loser sees
+:class:`FileNotFoundError` and moves on.
+
+Task ids are content keys: ``<stage>-<sha256(pickle((worker, payload)))
+[:32]>``.  Re-enqueueing the same shard work (e.g. by a restarted
+coordinator) maps to the same id, which is what makes checkpoint/resume
+fall out for free — a task whose valid result blob already exists is
+simply never re-queued, and duplicate execution after a lease expiry
+publishes byte-identical content.
+
+:class:`SpoolBackend` is the structural protocol the worker loop and
+coordinator actually consume; :class:`FilesystemSpool` is the reference
+implementation.  An object-store spool (S3-style conditional puts in
+place of renames) can slot in behind the same protocol later.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from ..exceptions import SpoolError
+from ..pipeline.store import atomic_write_bytes
+
+__all__ = [
+    "FilesystemSpool",
+    "SpoolBackend",
+    "SpoolTask",
+    "pack_blob",
+    "task_id_for",
+    "unpack_blob",
+]
+
+#: Header magic for payload/result blobs.  Version-bump on format change.
+_MAGIC = b"repro-spool\x00v1\n"
+
+#: Pickle protocol pinned so coordinator and workers on different hosts
+#: (same Python minor version) produce identical content keys.
+PICKLE_PROTOCOL = 4
+
+
+def pack_blob(payload: bytes) -> bytes:
+    """Frame ``payload`` with magic + sha256 so readers can reject any
+    torn or damaged blob instead of unpickling garbage."""
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return _MAGIC + digest + b"\n" + payload
+
+
+def unpack_blob(blob: bytes) -> bytes | None:
+    """The payload framed by :func:`pack_blob`, or ``None`` when the
+    frame or checksum does not verify (caller treats it as absent)."""
+    if not blob.startswith(_MAGIC):
+        return None
+    rest = blob[len(_MAGIC):]
+    newline = rest.find(b"\n")
+    if newline != 64:
+        return None
+    digest, payload = rest[:newline], rest[newline + 1:]
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        return None
+    return payload
+
+
+def task_id_for(stage: str, worker, payload) -> tuple[str, bytes]:
+    """Content-keyed task id plus the pickled payload blob it keys.
+
+    Identical (stage, worker, payload) triples — including the same
+    shard re-enqueued by a restarted coordinator — always map to the
+    same id, so the spool deduplicates work and completed results are
+    found again across coordinator restarts.
+    """
+    blob = pickle.dumps((worker, payload), protocol=PICKLE_PROTOCOL)
+    digest = hashlib.sha256(stage.encode("utf-8") + b"\x00" + blob)
+    return f"{stage}-{digest.hexdigest()[:32]}", blob
+
+
+@dataclass(frozen=True)
+class SpoolTask:
+    """One claimed unit of work."""
+
+    id: str
+    stage: str
+    shard: int
+
+
+@runtime_checkable
+class SpoolBackend(Protocol):
+    """Structural protocol between the queue and its storage.
+
+    :class:`FilesystemSpool` implements it over a directory tree; an
+    object-store implementation needs only these operations (claim must
+    be atomic-exclusive, writes must never be observable half-done).
+    """
+
+    def enqueue(self, task_id: str, stage: str, shard: int, payload: bytes) -> bool: ...
+
+    def claim(self, worker_id: str) -> SpoolTask | None: ...
+
+    def ack(self, task_id: str) -> bool: ...
+
+    def requeue(self, task_id: str) -> bool: ...
+
+    def claimed_ids(self) -> list[str]: ...
+
+    def read_payload(self, task_id: str) -> bytes | None: ...
+
+    def write_result(self, task_id: str, payload: bytes) -> None: ...
+
+    def read_result(self, task_id: str) -> bytes | None: ...
+
+    def has_result(self, task_id: str) -> bool: ...
+
+    def write_lease(self, task_id: str, data: dict) -> None: ...
+
+    def read_lease(self, task_id: str) -> dict | None: ...
+
+    def clear_lease(self, task_id: str) -> None: ...
+
+
+class FilesystemSpool:
+    """The reference :class:`SpoolBackend` over a shared directory."""
+
+    _STATES = ("pending", "claimed", "done")
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        for state in self._STATES:
+            (self.root / "tasks" / state).mkdir(parents=True, exist_ok=True)
+        for leaf in ("payloads", "results", "leases"):
+            (self.root / leaf).mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+
+    def task_path(self, state: str, task_id: str) -> Path:
+        return self.root / "tasks" / state / f"{task_id}.json"
+
+    def _payload_path(self, task_id: str) -> Path:
+        return self.root / "payloads" / task_id
+
+    def _result_path(self, task_id: str) -> Path:
+        return self.root / "results" / task_id
+
+    def _lease_path(self, task_id: str) -> Path:
+        return self.root / "leases" / f"{task_id}.json"
+
+    # -- queue transitions ---------------------------------------------
+
+    def enqueue(
+        self, task_id: str, stage: str, shard: int, payload: bytes
+    ) -> bool:
+        """Publish a task unless it is already queued or complete.
+
+        The payload blob lands before the task file becomes visible, so
+        a claimed task always has its payload.  Returns ``False`` when
+        the task already exists somewhere in the queue (the
+        content-keyed dedup that gives coordinator restarts resume
+        semantics) — except a ``done`` marker whose result blob no
+        longer verifies, which is re-queued.
+        """
+        if self.has_result(task_id):
+            return False
+        for state in ("pending", "claimed"):
+            if self.task_path(state, task_id).exists():
+                return False
+        atomic_write_bytes(self._payload_path(task_id), pack_blob(payload))
+        task = {"id": task_id, "stage": stage, "shard": shard}
+        blob = json.dumps(task, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self.task_path("pending", task_id), blob)
+        return True
+
+    def claim(self, worker_id: str) -> SpoolTask | None:
+        """Atomically claim one pending task (oldest id first).
+
+        ``os.replace`` into ``tasks/claimed/`` is the mutual exclusion:
+        the rename succeeds for exactly one contender and raises
+        :class:`FileNotFoundError` for everyone else.
+        """
+        pending = self.root / "tasks" / "pending"
+        for name in sorted(os.listdir(pending)):
+            if not name.endswith(".json"):
+                continue
+            task_id = name[: -len(".json")]
+            target = self.task_path("claimed", task_id)
+            try:
+                os.replace(pending / name, target)
+            except FileNotFoundError:
+                continue  # lost the claim race; try the next task
+            try:
+                task = json.loads(target.read_text(encoding="utf-8"))
+                return SpoolTask(
+                    id=str(task["id"]),
+                    stage=str(task["stage"]),
+                    shard=int(task["shard"]),
+                )
+            except FileNotFoundError:
+                # A reaper can steal the claim back in the window
+                # between our rename and our read (we hold no lease
+                # yet, so claimed-without-lease looks dead to it).
+                # The task is pending again — someone will run it.
+                continue
+            except (OSError, ValueError, KeyError) as exc:
+                raise SpoolError(
+                    f"claimed task file {target} is unreadable: {exc}"
+                ) from exc
+        return None
+
+    def ack(self, task_id: str) -> bool:
+        """Move a claimed task to done; ``False`` if someone beat us to
+        requeueing or acking it (both are benign races)."""
+        try:
+            os.replace(
+                self.task_path("claimed", task_id),
+                self.task_path("done", task_id),
+            )
+        except FileNotFoundError:
+            return False
+        return True
+
+    def requeue(self, task_id: str) -> bool:
+        """Return a claimed task to pending (lease expired / reaped)."""
+        try:
+            os.replace(
+                self.task_path("claimed", task_id),
+                self.task_path("pending", task_id),
+            )
+        except FileNotFoundError:
+            return False
+        return True
+
+    def claimed_ids(self) -> list[str]:
+        claimed = self.root / "tasks" / "claimed"
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(claimed)
+            if name.endswith(".json")
+        )
+
+    # -- payload / result blobs ----------------------------------------
+
+    def read_payload(self, task_id: str) -> bytes | None:
+        return self._read_blob(self._payload_path(task_id))
+
+    def write_result(self, task_id: str, payload: bytes) -> None:
+        atomic_write_bytes(self._result_path(task_id), pack_blob(payload))
+
+    def read_result(self, task_id: str) -> bytes | None:
+        return self._read_blob(self._result_path(task_id))
+
+    def has_result(self, task_id: str) -> bool:
+        return self.read_result(task_id) is not None
+
+    @staticmethod
+    def _read_blob(path: Path) -> bytes | None:
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        return unpack_blob(blob)
+
+    # -- leases --------------------------------------------------------
+
+    def write_lease(self, task_id: str, data: dict) -> None:
+        blob = json.dumps(data, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self._lease_path(task_id), blob)
+
+    def read_lease(self, task_id: str) -> dict | None:
+        try:
+            text = self._lease_path(task_id).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError:
+            return None
+        return data if isinstance(data, dict) else None
+
+    def clear_lease(self, task_id: str) -> None:
+        try:
+            os.unlink(self._lease_path(task_id))
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,54 @@
+"""A local-directory "remote" artifact store backend.
+
+:class:`DirectoryRemoteStore` is the reference implementation of the
+:class:`~repro.pipeline.store.StoreBackend` protocol the
+:class:`~repro.pipeline.store.ArtifactStore` grew for distributed
+runs: a flat, content-keyed blob namespace with ``get``/``put``/
+``exists``.  Pointed at a network-filesystem path it already lets
+workers on several hosts share one artifact cache; an object-store
+implementation (S3 and friends) replaces only this class, nothing
+above it.
+
+Semantics the protocol relies on:
+
+- ``put`` is atomic (write-temp-then-rename), so a concurrent ``get``
+  never sees a partial blob;
+- blobs are content-keyed by the store's artifact keys, so concurrent
+  ``put`` of the same key writes identical bytes and last-rename-wins
+  is harmless;
+- ``get`` returns ``None`` for a missing key and lets real transport
+  errors propagate — :meth:`ArtifactStore.load` maps those to the
+  ``"error"`` status and degrades to recompute, counted as an
+  invalidation in ``cache_stats``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..pipeline.store import atomic_write_bytes
+
+__all__ = ["DirectoryRemoteStore"]
+
+
+class DirectoryRemoteStore:
+    """Content-keyed blob storage over a (possibly shared) directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            return self._path(key).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, blob: bytes) -> None:
+        atomic_write_bytes(self._path(key), blob)
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).exists()

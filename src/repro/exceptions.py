@@ -95,6 +95,23 @@ class ArtifactCorruptionError(PipelineError):
     itself is broken."""
 
 
+class DistributedError(ReproError):
+    """Base class for :mod:`repro.distributed` errors — the queue-backed
+    multi-host shard executor (spool queue, worker leases, coordinator)."""
+
+
+class SpoolError(DistributedError):
+    """The filesystem spool is unusable or holds inconsistent state
+    (unreadable task file, corrupt payload/result blob that keeps
+    failing after requeue, exhausted retry budget)."""
+
+
+class LeaseError(DistributedError):
+    """A worker lease operation failed — e.g. renewing a lease that has
+    already expired and been reaped (the shard was handed to another
+    worker, so this worker must abandon it)."""
+
+
 class UnknownBotError(ReproError):
     """A bot name was requested that the profile registry does not know."""
 

@@ -48,8 +48,10 @@ from .store import (
 #: Valid shard-key names (see :mod:`repro.pipeline.shard`).
 SHARD_BY_CHOICES: tuple[str, ...] = ("site", "ip")
 
-#: Valid shard executor backends.
-EXECUTOR_CHOICES: tuple[str, ...] = ("process", "thread", "inline")
+#: Valid shard executor backends.  ``queue`` dispatches shard work to
+#: a filesystem-spool task queue (:mod:`repro.distributed`) consumed by
+#: worker processes on this or other hosts; it requires ``spool``.
+EXECUTOR_CHOICES: tuple[str, ...] = ("process", "thread", "inline", "queue")
 
 
 @dataclass(frozen=True)
@@ -63,12 +65,23 @@ class PipelineConfig:
         executor: backend that runs per-shard stage work.
         drop_scanners: propagated to preprocessing (screen out
             vulnerability-scanner IP hashes, the paper's §3.1 step).
+        spool: spool directory for the ``queue`` executor — the work
+            queue, leases, payloads and results shared with the worker
+            fleet (``repro-study worker --spool DIR``).  Like ``jobs``
+            and ``executor``, it is execution plumbing: artifact cache
+            keys never include it.
+        workers: local worker processes the ``queue`` executor spawns
+            for the duration of each shard map.  ``None`` (default)
+            mirrors ``jobs``; ``0`` spawns none and relies entirely on
+            externally started workers serving the spool.
     """
 
     jobs: int = 1
     shard_by: str = "site"
     executor: str = "process"
     drop_scanners: bool = True
+    spool: str | None = None
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -81,6 +94,19 @@ class PipelineConfig:
             raise PipelineError(
                 f"executor must be one of {EXECUTOR_CHOICES}, got {self.executor!r}"
             )
+        if self.executor == "queue" and not self.spool:
+            raise PipelineError(
+                "executor 'queue' requires a spool directory "
+                "(PipelineConfig(spool=...) / --spool)"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise PipelineError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.spool is not None:
+            # Normalized so the frozen config carries a plain string
+            # (Path objects repr differently across platforms).
+            object.__setattr__(self, "spool", str(self.spool))
 
 
 class RecordSource:

@@ -247,7 +247,11 @@ class Pipeline:
         last = store.last_key(item.name)
         context.stats.record_miss(
             item.name,
-            invalidated=last is not None and last != key,
+            # A remote-backend read failure ("error") degrades to a
+            # recompute and counts as an invalidation: the artifact's
+            # key is still valid, the transport just failed us.
+            invalidated=(last is not None and last != key)
+            or status == "error",
             corrupt=status == "corrupt",
         )
         if isinstance(item, ShardStage):
@@ -303,7 +307,7 @@ class Pipeline:
                 if status == "corrupt":
                     stats.corrupt += 1
                 last = store.last_key(f"{item.name}[{index}]")
-                if last is not None and last != key:
+                if (last is not None and last != key) or status == "error":
                     stats.invalidations += 1
                 miss_indices.append(index)
         if miss_indices:

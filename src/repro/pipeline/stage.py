@@ -136,7 +136,26 @@ class ShardStage:
         Split out from :meth:`run` so the cache-aware runner can map
         only the shards whose outputs were not found in the store and
         still reuse the same executor policy.
+
+        The ``queue`` executor routes through the distributed spool
+        coordinator instead of an in-process pool: tasks are enqueued
+        into ``config.spool`` and ``config.workers`` (default: one per
+        shard job) local worker processes are spun up for the duration
+        of the map — ``workers=0`` relies entirely on externally
+        started ``repro-study worker`` processes serving the spool.
         """
+        if context.config.executor == "queue":
+            from ..distributed.coordinator import run_sharded_queue
+
+            assert context.config.spool is not None  # enforced by config
+            workers = context.config.workers
+            return run_sharded_queue(
+                self.worker,
+                [shard.records for shard in shards],
+                spool=context.config.spool,
+                workers=context.config.jobs if workers is None else workers,
+                stage=self.name,
+            )
         return run_sharded(
             self.worker,
             [shard.records for shard in shards],

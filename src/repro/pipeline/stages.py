@@ -43,6 +43,7 @@ from ..analysis.columnar import (
 from ..analysis.compliance import Directive
 from ..analysis.perbot import per_bot_results, spoofed_bot_results
 from ..analysis.spoofing import find_spoofed_bots, partition_records as spoof_partition
+from ..exceptions import PipelineError
 from ..logs.columnar import iter_batches
 from ..logs.preprocess import (
     Preprocessor,
@@ -278,6 +279,7 @@ def build_study_pipeline(
     preprocessor: Preprocessor | None = None,
     cache_dir: object = None,
     no_cache: bool = False,
+    remote_store=None,
 ) -> Pipeline:
     """Assemble the full study-analysis pipeline.
 
@@ -287,7 +289,9 @@ def build_study_pipeline(
         scenario: the :class:`~repro.simulation.scenario.StudyScenario`
             describing phases and sites.
         config: execution knobs; ``jobs > 1`` selects the sharded
-            preprocess path (default preprocessor only).
+            preprocess path (default preprocessor only), and
+            ``executor="queue"`` + ``spool`` routes shard maps through
+            the distributed work queue (:mod:`repro.distributed`).
         preprocessor: custom preprocessing pipeline.  Custom instances
             always run in-process (they may hold unpicklable state), so
             they force the sequential preprocess stage — and disable
@@ -298,11 +302,25 @@ def build_study_pipeline(
             (default) disables cross-run caching entirely.
         no_cache: with ``cache_dir`` set, bypass cache *reads* while
             still publishing fresh artifacts (a refresh mode).
+        remote_store: optional
+            :class:`~repro.pipeline.store.StoreBackend` holding the
+            artifact blobs remotely (e.g.
+            :class:`~repro.distributed.DirectoryRemoteStore` on a
+            shared filesystem) so several hosts share one cache;
+            requires ``cache_dir``, which still hosts the local
+            latest-pointer bookkeeping.
     """
     config = config or PipelineConfig()
     store = None
+    if remote_store is not None and cache_dir is None:
+        raise PipelineError(
+            "remote_store requires cache_dir (it hosts the store's "
+            "local latest-pointers)"
+        )
     if cache_dir is not None and preprocessor is None:
-        store = ArtifactStore(cache_dir, read=not no_cache)
+        store = ArtifactStore(
+            cache_dir, read=not no_cache, backend=remote_store
+        )
     context = PipelineContext(
         config=config,
         source=RecordSource.of(source),

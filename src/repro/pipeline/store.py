@@ -42,6 +42,7 @@ import tempfile
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Protocol, runtime_checkable
 
 from ..exceptions import ArtifactCorruptionError, PipelineError
 from ..logs.columnar import RecordBatch, iter_batches, rechunk
@@ -66,10 +67,40 @@ _MAGIC = b"repro-artifact/2\n"
 #: Field separator inside key derivations (never appears in tokens).
 _SEP = "\x1f"
 
+#: Sentinel distinguishing "decoded to None" from "failed to decode".
+_CORRUPT = object()
+
 
 def digest_parts(*parts: str) -> str:
     """SHA-256 over a tuple of string tokens (the key derivation)."""
     return hashlib.sha256(_SEP.join(parts).encode("utf-8")).hexdigest()
+
+
+def atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via a temporary file + :func:`os.replace`.
+
+    The publish discipline every durable file in this codebase follows
+    (artifact objects, spool tasks, leases, checkpoint manifests):
+    readers never observe a partial file, because the final rename is
+    atomic and the temporary name is never visible under the target
+    name.  Concurrent writers of identical bytes race benignly —
+    last writer wins with the same content.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-", suffix=".part"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(blob)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 # Fingerprints cover exactly the paper's raw §3.1 columns
@@ -270,6 +301,32 @@ class CacheStats:
 # -- the store -----------------------------------------------------------
 
 
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Object-storage seam behind :class:`ArtifactStore`.
+
+    A backend maps content keys to opaque blobs (the checksummed
+    artifact files the store would otherwise write under ``objects/``).
+    The default (``backend=None``) is the store's own local layout; a
+    remote backend — e.g.
+    :class:`repro.distributed.remote.DirectoryRemoteStore`, the
+    shared-directory reference implementation — lets coordinators and
+    workers on different hosts share one artifact namespace.  Keys are
+    parallelism-independent by design, so any two processes deriving
+    the same key may publish interchangeably.
+
+    ``get`` returns ``None`` for a missing key and may raise on
+    transport failure; the store degrades either to a recompute (the
+    same fallback path that handles corrupt local files).
+    """
+
+    def get(self, key: str) -> bytes | None: ...
+
+    def put(self, key: str, blob: bytes) -> None: ...
+
+    def exists(self, key: str) -> bool: ...
+
+
 @dataclass(frozen=True)
 class StoreInfo:
     """Summary returned by :meth:`ArtifactStore.info`.
@@ -314,15 +371,30 @@ class ArtifactStore:
     bytes for identical keys, so the race is benign.
 
     Args:
-        root: cache directory (created on demand).
+        root: cache directory (created on demand).  With a remote
+            ``backend`` this still hosts the ``latest/`` pointers and
+            maintenance metadata — only object blobs move remote.
         read: when ``False`` (the CLI's ``--no-cache``), lookups always
             miss but publishes still happen — a refresh mode that
             rebuilds the cache without trusting its current contents.
+        backend: optional :class:`StoreBackend` that replaces the local
+            ``objects/`` layout as the blob transport (remote artifact
+            sharing across hosts).  A ``get`` that *raises* — network
+            partition, shared mount gone — degrades to a recompute:
+            :meth:`load` reports status ``"error"``, which the runner
+            tallies in ``cache_stats.invalidations`` rather than
+            failing the run.
     """
 
-    def __init__(self, root: str | Path, read: bool = True) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        read: bool = True,
+        backend: StoreBackend | None = None,
+    ) -> None:
         self.root = Path(root)
         self.read = read
+        self.backend = backend
         self._objects = self.root / "objects"
         self._latest = self.root / "latest"
         # Directories are created lazily by the write paths, so
@@ -338,12 +410,16 @@ class ArtifactStore:
         """Look up one artifact.
 
         Returns ``(status, value)`` where status is ``"hit"``,
-        ``"miss"``, or ``"corrupt"`` (checksum or unpickle failure —
-        the offending file is discarded so the subsequent publish
-        replaces it).
+        ``"miss"``, ``"corrupt"`` (checksum or unpickle failure — the
+        offending file is discarded so the subsequent publish replaces
+        it), or ``"error"`` (the remote backend's ``get`` raised; the
+        artifact may exist but is unreachable, so the caller recomputes
+        and the run is counted as invalidated, not corrupt).
         """
         if not self.read:
             return "miss", None
+        if self.backend is not None:
+            return self._load_remote(key)
         path = self._object_path(key)
         try:
             blob = path.read_bytes()
@@ -375,6 +451,38 @@ class ArtifactStore:
             pass
         return "hit", value
 
+    def _load_remote(self, key: str) -> tuple[str, object]:
+        """Backend lookup with the degrade-to-recompute fallback."""
+        assert self.backend is not None
+        try:
+            blob = self.backend.get(key)
+        except Exception:
+            # Transport failure (unreachable mount, network partition):
+            # the same self-healing posture as a corrupt local file —
+            # recompute and republish — but reported distinctly so the
+            # stats attribute it to invalidation, not corruption.
+            return "error", None
+        if blob is None:
+            return "miss", None
+        value = self._decode(blob)
+        if value is _CORRUPT:
+            return "corrupt", None
+        return "hit", value
+
+    def _decode(self, blob: bytes) -> object:
+        """Parse one artifact blob; ``_CORRUPT`` on any failure."""
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ArtifactCorruptionError("bad artifact header")
+            body = blob[len(_MAGIC) :]
+            _stage, _, body = body.partition(b"\n")
+            digest, _, payload = body.partition(b"\n")
+            if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+                raise ArtifactCorruptionError("artifact checksum mismatch")
+            return pickle.loads(payload)
+        except Exception:
+            return _CORRUPT
+
     def store(self, key: str, value: object, stage: str = "") -> None:
         """Publish one artifact atomically (checksummed, tmp + rename).
 
@@ -384,26 +492,13 @@ class ArtifactStore:
         """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest().encode("ascii")
-        path = self._object_path(key)
         header = _MAGIC + stage.encode("utf-8") + b"\n" + digest + b"\n"
-        self._atomic_write(path, header + payload)
+        if self.backend is not None:
+            self.backend.put(key, header + payload)
+            return
+        self._atomic_write(self._object_path(key), header + payload)
 
-    @staticmethod
-    def _atomic_write(path: Path, blob: bytes) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".part"
-        )
-        try:
-            with os.fdopen(handle, "wb") as tmp:
-                tmp.write(blob)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+    _atomic_write = staticmethod(atomic_write_bytes)
 
     # -- invalidation bookkeeping -------------------------------------
 

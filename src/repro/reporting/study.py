@@ -69,7 +69,15 @@ class StudyAnalysis:
             runs fully sequentially.  Sharded (``jobs > 1``) and
             sequential runs produce byte-identical artifacts.
         shard_by: hash-partition key, ``"site"`` or ``"ip"``.
-        executor: shard backend (``process``/``thread``/``inline``).
+        executor: shard backend (``process``/``thread``/``inline``/
+            ``queue``; ``queue`` requires ``spool``).
+        spool: spool directory for the ``queue`` executor — shared
+            with any ``repro-study worker`` processes serving it.
+        workers: local worker processes the ``queue`` executor spawns
+            (``None`` mirrors ``jobs``, ``0`` relies on external
+            workers).
+        remote_store: optional remote artifact-store backend (see
+            :func:`repro.pipeline.stages.build_study_pipeline`).
         cache_dir: directory for the persistent artifact store; when
             set, stage artifacts are served from (and published to)
             disk keyed by source/code fingerprints, so re-analyzing an
@@ -92,6 +100,9 @@ class StudyAnalysis:
         jobs: int = 1,
         shard_by: str = "site",
         executor: str = "process",
+        spool: str | None = None,
+        workers: int | None = None,
+        remote_store=None,
         cache_dir: object = None,
         no_cache: bool = False,
     ) -> None:
@@ -101,11 +112,16 @@ class StudyAnalysis:
             source=dataset.source(),
             scenario=self.scenario,
             config=PipelineConfig(
-                jobs=jobs, shard_by=shard_by, executor=executor
+                jobs=jobs,
+                shard_by=shard_by,
+                executor=executor,
+                spool=spool,
+                workers=workers,
             ),
             preprocessor=preprocessor,
             cache_dir=cache_dir,
             no_cache=no_cache,
+            remote_store=remote_store,
         )
         self.records, self.preprocess_report = self._pipeline.get("preprocess")
 
@@ -118,6 +134,9 @@ class StudyAnalysis:
         jobs: int = 1,
         shard_by: str = "site",
         executor: str = "process",
+        spool: str | None = None,
+        workers: int | None = None,
+        remote_store=None,
         cache_dir: object = None,
         no_cache: bool = False,
     ) -> "StudyAnalysis":
@@ -135,11 +154,16 @@ class StudyAnalysis:
             source=source,
             scenario=scenario,
             config=PipelineConfig(
-                jobs=jobs, shard_by=shard_by, executor=executor
+                jobs=jobs,
+                shard_by=shard_by,
+                executor=executor,
+                spool=spool,
+                workers=workers,
             ),
             preprocessor=preprocessor,
             cache_dir=cache_dir,
             no_cache=no_cache,
+            remote_store=remote_store,
         )
         analysis.records, analysis.preprocess_report = analysis._pipeline.get(
             "preprocess"

@@ -791,6 +791,95 @@ class TestCli:
         assert "RPR001" in out and "RPR009" in out
 
 
+BAD_SPOOL = """
+    import json
+
+
+    def write_lease(path, data):
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+
+
+    def publish_result(path, blob):
+        path.write_bytes(blob)
+"""
+
+GOOD_SPOOL = """
+    import json
+
+    from repro.pipeline.store import atomic_write_bytes
+
+
+    def write_lease(path, data):
+        atomic_write_bytes(path, json.dumps(data).encode("utf-8"))
+
+
+    def read_lease(path):
+        with open(path) as handle:
+            return json.load(handle)
+"""
+
+
+class TestSpoolHygieneRPR010:
+    def test_fires_on_direct_spool_writes(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "src/repro/distributed/__init__.py": "",
+                "src/repro/distributed/queue.py": BAD_SPOOL,
+            },
+            select=["RPR010"],
+        )
+        assert codes(result) == ["RPR010", "RPR010"]
+        messages = " ".join(f.message for f in result.findings)
+        assert "atomic_write_bytes" in messages
+
+    def test_quiet_on_atomic_helper_and_reads(self, tmp_path):
+        result = lint(
+            tmp_path,
+            {
+                "src/repro/distributed/__init__.py": "",
+                "src/repro/distributed/queue.py": GOOD_SPOOL,
+            },
+            select=["RPR010"],
+        )
+        assert codes(result) == []
+
+    def test_quiet_outside_distributed_package(self, tmp_path):
+        # The same writes in non-distributed code are RPR010-silent:
+        # the rule is scoped to the worker/queue call graph.
+        result = lint(
+            tmp_path,
+            {"src/repro/logs/io.py": BAD_SPOOL},
+            select=["RPR010"],
+        )
+        assert codes(result) == []
+
+    def test_fires_transitively_through_helpers(self, tmp_path):
+        helper = """
+            def torn_write(path, blob):
+                with open(path, "wb") as handle:
+                    handle.write(blob)
+        """
+        caller = """
+            from repro.distributed.util import torn_write
+
+
+            def publish(path, blob):
+                torn_write(path, blob)
+        """
+        result = lint(
+            tmp_path,
+            {
+                "src/repro/distributed/__init__.py": "",
+                "src/repro/distributed/util.py": helper,
+                "src/repro/distributed/worker.py": caller,
+            },
+            select=["RPR010"],
+        )
+        assert codes(result) == ["RPR010"]
+
+
 class TestRepositoryIsClean:
     """The acceptance criterion: the shipped tree lints clean."""
 
@@ -815,3 +904,18 @@ class TestRepositoryIsClean:
         assert any(
             "preprocess_shard" in q for q in graph.shard_reachable
         )
+
+    def test_distributed_callgraph_is_separate(self):
+        from repro.devtools.lint.project import load_project
+
+        project = load_project([REPO_ROOT / "src"], root=REPO_ROOT)
+        graph = project.callgraph
+        distributed = set(graph.distributed_reachable)
+        assert any("repro.distributed.worker.run_worker" in q for q in distributed)
+        assert any("repro.distributed.queue" in q for q in distributed)
+        # The atomic helper is reachable from queue code...
+        assert "repro.pipeline.store.atomic_write_bytes" in distributed
+        # ...but lease/heartbeat clock use must never leak into the
+        # stage-determinism tables (RPR001 would fire on time.time).
+        assert not any("repro.distributed" in q for q in graph.reachable)
+        assert not any("repro.distributed" in q for q in graph.shard_reachable)
