@@ -1,0 +1,96 @@
+"""Scenario matrix benchmark: cold grid execution vs warm cache replay.
+
+The matrix runner's value proposition is that a warm rerun of a grid
+costs (almost) nothing: every cell loads from the content-keyed
+artifact store and zero simulations run.  This benchmark times the CI
+quick grid cold and warm, hard-gates the cache correctness part
+(warm run computes zero cells — that is a functional guarantee, not a
+wall-clock one), and records both timings for the trajectory file.
+
+The wall-clock speedup gate is advisory under ``CI=`` like the other
+benchmarks; cold/warm ratios on shared runners are noisy, but a warm
+run that simulates even one cell is a caching bug at any speed.
+"""
+
+import os
+import time
+
+from repro.scenarios import quick_grid, run_matrix
+
+#: Warm replay must beat the cold run by this factor off-CI.
+MIN_WARM_SPEEDUP = 2.0
+
+ENFORCE_SPEEDUP = not os.environ.get("CI")
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_warm_grid_replay(bench_timings, tmp_path):
+    grid = quick_grid()
+    cache = str(tmp_path / "cache")
+
+    cold, cold_s = _timed(lambda: run_matrix(grid, jobs=2, cache_dir=cache))
+    warm, warm_s = _timed(lambda: run_matrix(grid, jobs=2, cache_dir=cache))
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"\nscenario matrix ({len(grid)} cells): cold {cold_s:.3f}s, "
+        f"warm {warm_s:.3f}s, speedup {speedup:.1f}x "
+        f"(gate ≥ {MIN_WARM_SPEEDUP}x, "
+        f"{'enforced' if ENFORCE_SPEEDUP else 'advisory on CI'})"
+    )
+    bench_timings(
+        "scenarios/warm_replay",
+        cells=len(grid),
+        cold_s=cold_s,
+        warm_s=warm_s,
+        speedup=round(speedup, 3),
+        min_speedup_gate=MIN_WARM_SPEEDUP,
+        enforced=ENFORCE_SPEEDUP,
+    )
+
+    # Functional gates: hard everywhere.
+    assert cold.computed == len(grid) and cold.cached == 0
+    assert warm.computed == 0, (
+        f"warm rerun simulated {warm.computed} cell(s); "
+        "per-cell cache keys must make an unchanged grid free"
+    )
+    assert warm.stats.misses == 0
+    assert repr(warm.cells) == repr(cold.cells)
+
+    if ENFORCE_SPEEDUP:
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm replay took {warm_s:.3f}s vs {cold_s:.3f}s cold — "
+            f"{speedup:.1f}x is under the {MIN_WARM_SPEEDUP}x gate"
+        )
+
+
+def test_knob_edit_is_incremental(bench_timings, tmp_path):
+    """Editing one deterrence knob re-simulates only the cells using
+    that config — the edit-one-knob loop stays proportional."""
+    grid = quick_grid()
+    cache = str(tmp_path / "cache")
+    run_matrix(grid, jobs=2, cache_dir=cache)
+
+    edited = grid.with_knob("full.ratelimit_capacity=12")
+    result, edit_s = _timed(
+        lambda: run_matrix(edited, jobs=2, cache_dir=cache)
+    )
+    affected = sum(1 for spec in edited.cells() if spec.deterrence.name == "full")
+    print(
+        f"\nknob edit: {result.computed} of {len(grid)} cells recomputed "
+        f"in {edit_s:.3f}s (expected {affected})"
+    )
+    bench_timings(
+        "scenarios/knob_edit",
+        cells=len(grid),
+        recomputed=result.computed,
+        expected=affected,
+        edit_s=edit_s,
+    )
+    assert result.computed == affected
+    assert result.cached == len(grid) - affected

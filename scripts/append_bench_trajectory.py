@@ -10,17 +10,22 @@ and plottable without touching the GitHub artifacts API.
 Usage::
 
     python scripts/append_bench_trajectory.py BENCH_<sha>.json \
-        [--trajectory BENCH_TRAJECTORY.jsonl]
+        [--trajectory BENCH_TRAJECTORY.jsonl] [--sha SHA]
 
-Appending is idempotent per sha: re-running on a commit that is
-already recorded is a no-op (exit 0), so workflow retries never
-duplicate lines.
+Appending is idempotent: re-running on a payload that is already
+recorded is a no-op (exit 0), so workflow retries never duplicate
+lines.  Commits dedupe on their sha; payloads without one (local
+runs, missing ``GITHUB_SHA``) dedupe on a digest of their content, so
+even sha-less lines only ever land once.  A missing or not-yet-created
+trajectory file is treated as empty.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import sys
 from datetime import datetime, timezone
 from pathlib import Path
@@ -40,10 +45,10 @@ def compact_entry(entry: dict) -> dict:
     return kept
 
 
-def trajectory_line(payload: dict, recorded: str) -> dict:
+def trajectory_line(payload: dict, recorded: str, sha: str | None = None) -> dict:
     return {
         "schema": payload.get("schema", 1),
-        "sha": payload.get("sha", ""),
+        "sha": sha if sha is not None else payload.get("sha", ""),
         "recorded": recorded,
         "python": payload.get("python", ""),
         "scale": payload.get("scale"),
@@ -54,19 +59,45 @@ def trajectory_line(payload: dict, recorded: str) -> dict:
     }
 
 
-def recorded_shas(trajectory: Path) -> set[str]:
-    shas: set[str] = set()
+def dedupe_key(line: dict) -> str:
+    """Identity of one trajectory line for idempotent appends.
+
+    Lines carrying a commit sha dedupe on it.  Sha-less lines dedupe
+    on a digest of their measured content (everything except the
+    append-time ``recorded`` stamp) — computed from the *compacted*
+    form, so a raw payload and its recorded line derive the same key.
+    """
+    sha = line.get("sha", "")
+    if sha:
+        return f"sha:{sha}"
+    content = {
+        key: value for key, value in line.items() if key != "recorded"
+    }
+    digest = hashlib.sha256(
+        json.dumps(content, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return f"content:{digest}"
+
+
+def recorded_keys(trajectory: Path) -> set[str]:
+    """Dedupe keys of every line already in the trajectory file.
+
+    Missing files and unparseable lines are tolerated: the file may
+    not exist yet on a fresh branch, and one corrupt line must not
+    block recording the rest of history.
+    """
+    keys: set[str] = set()
     if not trajectory.is_file():
-        return shas
+        return keys
     for line in trajectory.read_text(encoding="utf-8").splitlines():
         line = line.strip()
         if not line:
             continue
         try:
-            shas.add(json.loads(line).get("sha", ""))
-        except json.JSONDecodeError:
+            keys.add(dedupe_key(json.loads(line)))
+        except (json.JSONDecodeError, AttributeError):
             continue
-    return shas
+    return keys
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,6 +109,14 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_TRAJECTORY.jsonl"),
         help="trajectory file to append to (default: ./BENCH_TRAJECTORY.jsonl)",
     )
+    parser.add_argument(
+        "--sha",
+        default=None,
+        help=(
+            "commit sha to record (overrides the payload's; defaults to "
+            "the payload's sha, then $GITHUB_SHA)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -86,13 +125,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: cannot read {args.artifact}: {exc}", file=sys.stderr)
         return 1
 
-    sha = payload.get("sha", "")
-    if sha and sha in recorded_shas(args.trajectory):
-        print(f"sha {sha[:12]} already recorded; nothing to do")
-        return 0
+    sha = args.sha
+    if sha is None:
+        sha = payload.get("sha", "") or os.environ.get("GITHUB_SHA", "")
 
     recorded = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
-    line = trajectory_line(payload, recorded)
+    line = trajectory_line(payload, recorded, sha=sha)
+    key = dedupe_key(line)
+    if key in recorded_keys(args.trajectory):
+        print(
+            f"{sha[:12] or 'payload content'} already recorded; nothing to do"
+        )
+        return 0
+
+    args.trajectory.parent.mkdir(parents=True, exist_ok=True)
     with open(args.trajectory, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(line, sort_keys=True, separators=(",", ":")))
         handle.write("\n")

@@ -182,7 +182,10 @@ _DEFAULT: AsnRegistry | None = None
 
 def default_asn_registry() -> AsnRegistry:
     """The shared built-in ASN registry."""
-    global _DEFAULT
+    # Idempotent lazy init: every process builds the identical
+    # registry from the same constant table, so shard workers racing
+    # on the first call cannot diverge.
+    global _DEFAULT  # lint: ignore[RPR003]
     if _DEFAULT is None:
         _DEFAULT = AsnRegistry()
     return _DEFAULT

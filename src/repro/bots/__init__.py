@@ -1,8 +1,20 @@
 """Bot population: behaviour model, calibrated profiles, agents."""
 
 from .agent import BotAgent, agent_seed
-from .behavior import BotProfile, CheckPolicy, ComplianceProfile, NEVER_CHECKS
-from .profiles import build_profiles, paper_profiles, profile_by_name
+from .behavior import (
+    AdversarialTraits,
+    BotProfile,
+    CheckPolicy,
+    ComplianceProfile,
+    NEVER_CHECKS,
+)
+from .profiles import (
+    ROTATION_UA_POOL,
+    adversarial_profiles,
+    build_profiles,
+    paper_profiles,
+    profile_by_name,
+)
 from .spoofer import (
     SPOOF_COMPLIANCE_OVERRIDES,
     SPOOF_DEFAULT_COMPLIANCE,
@@ -11,8 +23,11 @@ from .spoofer import (
 )
 
 __all__ = [
+    "AdversarialTraits",
     "BotAgent",
     "BotProfile",
+    "ROTATION_UA_POOL",
+    "adversarial_profiles",
     "CheckPolicy",
     "ComplianceProfile",
     "NEVER_CHECKS",

@@ -119,11 +119,13 @@ class BotAgent:
 
     def emit_day(self, day_start: float, volume_factor: float = 1.0) -> None:
         """Generate this agent's traffic for one simulated day."""
+        traits = self.profile.adversarial
         rate = (
             self.profile.sessions_per_day
             * self.scenario.scale
             * self._burst_multiplier(day_start)
             * volume_factor
+            * (traits.session_rate_factor if traits is not None else 1.0)
         )
         n_sessions = int(self._rng.poisson(rate))
         for _ in range(n_sessions):
@@ -136,22 +138,53 @@ class BotAgent:
         site = self._choose_site()
         if site is None:
             return
+        traits = self.profile.adversarial
         now = start
         ip = self._ips[int(self._rng.integers(0, len(self._ips)))]
-        if self._check_due(site.hostname, now):
-            self._fetch_robots(site, now, ip)
+        ua = self.profile.user_agent
+        asn = None
+        if traits is not None:
+            if traits.rotates_ua:
+                ua = traits.ua_pool[
+                    int(self._rng.integers(0, len(traits.ua_pool)))
+                ]
+            if traits.distributed:
+                asn = int(
+                    traits.asn_pool[
+                        int(self._rng.integers(0, len(traits.asn_pool)))
+                    ]
+                )
+        forced_fetch = traits is not None and traits.violate_after_fetch
+        if forced_fetch or self._check_due(site.hostname, now):
+            self._fetch_robots(site, now, ip, user_agent=ua, asn=asn)
             now += float(self._rng.uniform(0.5, 3.0))
         n_pages = int(self._rng.geometric(1.0 / max(self.profile.session_length_mean, 1.0)))
         version = self._version_for(site, now)
         delay_q = self._delay_compliance_q(version)
         for index in range(n_pages):
-            path = self._choose_path(site, version, now)
+            path = None
+            if traits is not None:
+                if (
+                    traits.rotates_ua
+                    and traits.ua_rotate_p > 0
+                    and self._rng.random() < traits.ua_rotate_p
+                ):
+                    ua = traits.ua_pool[
+                        int(self._rng.integers(0, len(traits.ua_pool)))
+                    ]
+                if (
+                    traits.violate_after_fetch
+                    and self._rng.random() < traits.violation_rate
+                ):
+                    path = self._violation_path(site)
+            if path is None:
+                path = self._choose_path(site, version, now)
             if path == ROBOTS_PATH:
-                self._fetch_robots(site, now, ip)
+                self._fetch_robots(site, now, ip, user_agent=ua, asn=asn)
             elif self._strictly_denied(site, path):
                 pass  # compliant counterfactual: denied target skipped
             else:
-                self._request(site, path, now, ip)
+                self._request(site, path, now, ip, user_agent=ua, asn=asn)
             if index + 1 < n_pages:
                 now += self._next_delta(site, version, delay_q)
                 version = self._version_for(site, now)
@@ -196,14 +229,21 @@ class BotAgent:
                 return False
         return self._rng.random() < policy.reliability
 
-    def _fetch_robots(self, site: Website, now: float, ip: str) -> None:
+    def _fetch_robots(
+        self,
+        site: Website,
+        now: float,
+        ip: str,
+        user_agent: str | None = None,
+        asn: int | None = None,
+    ) -> None:
         """Fetch, parse and cache robots.txt via the real engine."""
         request = Request(
             host=site.hostname,
             path=ROBOTS_PATH,
-            user_agent=self.profile.user_agent,
+            user_agent=user_agent if user_agent is not None else self.profile.user_agent,
             client_ip=ip,
-            asn=self._asn,
+            asn=asn if asn is not None else self._asn,
             timestamp=now,
         )
         response = self.server.handle(request)
@@ -211,7 +251,10 @@ class BotAgent:
         state = self._robots.setdefault(site.hostname, _SiteRobotsState())
         state.last_check = now
         state.policy = resolve_fetch(response.status, response.body or b"").policy
-        if self.strict_robots:
+        traits = self.profile.adversarial
+        if self.strict_robots or (
+            traits is not None and traits.violate_after_fetch
+        ):
             inventory = site.all_paths()
             verdicts = state.policy.can_fetch_many(
                 self.profile.robots_token, inventory
@@ -231,6 +274,28 @@ class BotAgent:
                 return not allowed
         # Path unknown at sweep time (site grew since): live check.
         return not state.policy.can_fetch(self.profile.robots_token, path)
+
+    def _violation_path(self, site: Website) -> str | None:
+        """A deliberately disallowed target (fetch-then-violate).
+
+        Drawn from the denied-path sweep the last robots fetch
+        computed (see :meth:`_fetch_robots`); falls back to the trap
+        section — disallowed under every corpus version — when no
+        policy has been fetched yet this session.
+        """
+        state = self._robots.get(site.hostname)
+        if state is not None and state.allow_verdicts:
+            denied = [
+                path
+                for path, allowed in state.allow_verdicts.items()
+                if not allowed and path != ROBOTS_PATH
+            ]
+            if denied:
+                return denied[int(self._rng.integers(0, len(denied)))]
+        traps = site.paths_in_section("secure")
+        if traps:
+            return traps[int(self._rng.integers(0, len(traps)))]
+        return None
 
     def _advertised_delay(self, site: Website) -> float | None:
         """Crawl delay the bot believes applies (from its cached policy)."""
@@ -335,13 +400,21 @@ class BotAgent:
                 weights.pop("page-data")
         return weights
 
-    def _request(self, site: Website, path: str, now: float, ip: str) -> None:
+    def _request(
+        self,
+        site: Website,
+        path: str,
+        now: float,
+        ip: str,
+        user_agent: str | None = None,
+        asn: int | None = None,
+    ) -> None:
         request = Request(
             host=site.hostname,
             path=path,
-            user_agent=self.profile.user_agent,
+            user_agent=user_agent if user_agent is not None else self.profile.user_agent,
             client_ip=ip,
-            asn=self._asn,
+            asn=asn if asn is not None else self._asn,
             timestamp=now,
         )
         self.server.handle(request)

@@ -85,6 +85,64 @@ NEVER_CHECKS = CheckPolicy(interval_hours=None)
 
 
 @dataclass(frozen=True)
+class AdversarialTraits:
+    """Evasion behaviours the paper observes in the wild (§5.2, §6)
+    but the calibrated Table 6 profiles do not model.
+
+    All traits default to inert, so attaching an empty
+    ``AdversarialTraits()`` changes nothing; a profile with
+    ``adversarial=None`` (the default) generates byte-identical
+    traffic to the pre-trait simulator.
+
+    Attributes:
+        ua_pool: alternative User-Agent headers the bot rotates
+            through.  The session UA is drawn from this pool, and —
+            with probability ``ua_rotate_p`` per request — re-drawn
+            *mid-session*, modelling the UA-churn evasion pattern.
+        ua_rotate_p: per-request probability of switching UA
+            mid-session (only meaningful with a non-empty
+            ``ua_pool``).
+        violate_after_fetch: the robots-fetch-then-violate pattern —
+            the bot dutifully fetches robots.txt at the start of
+            every session and then deliberately targets paths the
+            fetched policy disallows.
+        violation_rate: per-request probability that a
+            fetch-then-violate bot picks a disallowed target instead
+            of its normal content mix.
+        asn_pool: source networks of a distributed low-and-slow
+            crawl.  Each session is emitted from one ASN drawn from
+            the pool, defeating single-ASN rate limits and the
+            dominant-ASN spoofing heuristic alike.
+        session_rate_factor: multiplier on the profile's session
+            rate — below 1.0 for low-and-slow fleets that spread a
+            modest request budget across many networks.
+    """
+
+    ua_pool: tuple[str, ...] = ()
+    ua_rotate_p: float = 0.0
+    violate_after_fetch: bool = False
+    violation_rate: float = 0.0
+    asn_pool: tuple[int, ...] = ()
+    session_rate_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("ua_rotate_p", "violation_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.session_rate_factor <= 0.0:
+            raise ValueError("session_rate_factor must be positive")
+
+    @property
+    def rotates_ua(self) -> bool:
+        return bool(self.ua_pool)
+
+    @property
+    def distributed(self) -> bool:
+        return bool(self.asn_pool)
+
+
+@dataclass(frozen=True)
 class BotProfile:
     """Complete behavioural description of one simulated bot.
 
@@ -122,6 +180,9 @@ class BotProfile:
             Zero for well-behaved bots; positive for spoofers and
             brute-force crawlers — the hook for the paper's §5.2
             future-work idea of honeypot-based spoof confirmation.
+        adversarial: optional evasion traits (UA rotation,
+            robots-fetch-then-violate, distributed low-and-slow);
+            ``None`` leaves the calibrated behaviour untouched.
     """
 
     name: str
@@ -143,6 +204,7 @@ class BotProfile:
     burst: tuple[str, str, float] | None = None
     ip_count: int = 2
     trap_probe_rate: float = 0.0
+    adversarial: AdversarialTraits | None = None
 
     @property
     def sessions_per_day(self) -> float:

@@ -25,7 +25,13 @@ from ..asn.database import default_asn_registry
 from ..exceptions import ConfigError
 from ..uaparse.categories import BotCategory, RobotsPromise
 from ..uaparse.registry import default_registry
-from .behavior import BotProfile, CheckPolicy, ComplianceProfile, NEVER_CHECKS
+from .behavior import (
+    AdversarialTraits,
+    BotProfile,
+    CheckPolicy,
+    ComplianceProfile,
+    NEVER_CHECKS,
+)
 
 #: Raw accesses per session-row hit (3.9 M raw rows / 762 k sessions).
 RAW_PER_HIT = 5.1
@@ -1170,15 +1176,116 @@ def build_profiles(include_long_tail: bool = True) -> list[BotProfile]:
     return profiles
 
 
+#: Browser User-Agent headers adversarial crawlers rotate through
+#: (§5.2: scrapers presenting generic browser UAs between bot UAs).
+ROTATION_UA_POOL: tuple[str, ...] = (
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/123.0.0.0 Safari/537.36",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 "
+    "(KHTML, like Gecko) Version/17.0 Safari/605.1.15",
+    "Mozilla/5.0 (X11; Linux x86_64; rv:124.0) Gecko/20100101 Firefox/124.0",
+)
+
+
+def adversarial_profiles() -> list[BotProfile]:
+    """The evasion population the paper observes but Table 6 cannot
+    calibrate: UA rotation mid-session, robots-fetch-then-violate,
+    and a distributed low-and-slow fleet across hosting ASNs.
+
+    These are *extra* profiles — :func:`build_profiles` does not
+    include them, so the calibrated study simulation is unchanged;
+    the scenario matrix opts in per cell.
+    """
+    evasive_compliance = _compliance(
+        delay=(0.25, 0.25), endpoint=(0.05, 0.05), robots=(0.0, 0.0)
+    )
+    return [
+        BotProfile(
+            name="UA-Rotator",
+            user_agent=(
+                "Mozilla/5.0 (compatible; DataHarvester/2.1; "
+                "+https://example.net/harvester)"
+            ),
+            robots_token="DataHarvester",
+            category=_C.SCRAPER,
+            entity="Unattributed",
+            promise=_P.NO,
+            home_asn=_asn("HETZNER-AS"),
+            accesses_per_day=_hits_per_day(9_000),
+            session_length_mean=14.0,
+            inter_access_mean=4.0,
+            compliance=evasive_compliance,
+            check=NEVER_CHECKS,
+            ip_count=4,
+            trap_probe_rate=0.02,
+            adversarial=AdversarialTraits(
+                ua_pool=ROTATION_UA_POOL, ua_rotate_p=0.3
+            ),
+        ),
+        BotProfile(
+            name="RobotsViolator",
+            user_agent=(
+                "Mozilla/5.0 (compatible; ArchiveSweep/1.0; "
+                "+https://example.org/sweep)"
+            ),
+            robots_token="ArchiveSweep",
+            category=_C.SCRAPER,
+            entity="Unattributed",
+            promise=_P.YES,
+            home_asn=_asn("OVH"),
+            accesses_per_day=_hits_per_day(6_000),
+            session_length_mean=10.0,
+            inter_access_mean=3.0,
+            compliance=evasive_compliance,
+            check=CheckPolicy(interval_hours=6.0),
+            ip_count=2,
+            adversarial=AdversarialTraits(
+                violate_after_fetch=True, violation_rate=0.4
+            ),
+        ),
+        BotProfile(
+            name="LowSlowFleet",
+            user_agent=(
+                "Mozilla/5.0 (compatible; QuietCrawl/0.9; "
+                "+https://example.com/quiet)"
+            ),
+            robots_token="QuietCrawl",
+            category=_C.SCRAPER,
+            entity="Unattributed",
+            promise=_P.NO,
+            home_asn=_asn("DIGITALOCEAN-ASN"),
+            accesses_per_day=_hits_per_day(12_000),
+            session_length_mean=5.0,
+            inter_access_mean=45.0,
+            compliance=evasive_compliance,
+            check=NEVER_CHECKS,
+            ip_count=24,
+            adversarial=AdversarialTraits(
+                asn_pool=(
+                    _asn("DIGITALOCEAN-ASN"),
+                    _asn("HETZNER-AS"),
+                    _asn("OVH"),
+                    _asn("LINODE-AP"),
+                    _asn("NETCUP-AS"),
+                ),
+                session_rate_factor=0.5,
+            ),
+        ),
+    ]
+
+
 def profile_by_name(name: str) -> BotProfile:
     """Look up one profile by canonical name.
+
+    Covers the calibrated study population plus the adversarial
+    extras (:func:`adversarial_profiles`).
 
     Raises:
         UnknownBotError: when no profile carries ``name``.
     """
     from ..exceptions import UnknownBotError
 
-    for profile in build_profiles():
+    for profile in build_profiles() + adversarial_profiles():
         if profile.name.lower() == name.lower():
             return profile
     raise UnknownBotError(name)

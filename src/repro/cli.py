@@ -377,6 +377,68 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print every rule and exit"
     )
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="run the adversarial scenario matrix (deterrence x bot fleet)",
+    )
+    scenarios.add_argument(
+        "action",
+        choices=("run", "report"),
+        help=(
+            "run: execute the grid and print per-cell results; "
+            "report: execute and render the deterrence scorecard + "
+            "detector ROC tables"
+        ),
+    )
+    scenarios.add_argument(
+        "--grid",
+        default="quick",
+        help=(
+            "a preset (quick, full) or an axis list like "
+            "'bots=GPTBot,Bytespider;strategy=honest,spoof_asn;"
+            "deterrence=none,full;robots=base,v3;traffic=steady'"
+        ),
+    )
+    scenarios.add_argument("--days", type=int, default=None)
+    scenarios.add_argument("--seed", type=int, default=None)
+    scenarios.add_argument("--jobs", type=int, default=1)
+    scenarios.add_argument(
+        "--executor",
+        choices=("process", "thread", "inline", "queue"),
+        default="process",
+        help="backend that runs the cells (queue requires --spool)",
+    )
+    scenarios.add_argument(
+        "--spool",
+        type=Path,
+        default=None,
+        help="spool directory for the queue executor",
+    )
+    scenarios.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="local queue workers to spawn (default: --jobs)",
+    )
+    scenarios.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="knobs",
+        metavar="CONFIG.FIELD=VALUE",
+        help=(
+            "override one deterrence knob, e.g. full.ratelimit_capacity=12; "
+            "only cells using that config recompute"
+        ),
+    )
+    scenarios.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write scorecard.md / roc.md into",
+    )
+    _add_cache_options(scenarios)
     return parser
 
 
@@ -703,6 +765,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .reporting.scorecard import render_deterrence_scorecard, render_roc_table
+    from .scenarios import parse_grid, run_matrix
+
+    grid = parse_grid(args.grid, days=args.days, seed=args.seed)
+    for knob in args.knobs:
+        grid = grid.with_knob(knob)
+    result = run_matrix(
+        grid,
+        jobs=args.jobs,
+        executor=args.executor,
+        spool=str(args.spool) if args.spool is not None else None,
+        workers=args.workers,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        no_cache=args.no_cache,
+    )
+    print(
+        f"cells: {result.computed} computed, {result.cached} cached",
+        file=sys.stderr,
+    )
+    print(f"cache: {result.stats.summary()}", file=sys.stderr)
+
+    scorecard_text = render_deterrence_scorecard(result.scorecard)
+    roc_text = "# Detector ROC tables\n\n" + "\n".join(
+        render_roc_table(table) for table in result.roc
+    )
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+        (args.output / "scorecard.md").write_text(scorecard_text)
+        (args.output / "roc.md").write_text(roc_text)
+        print(f"wrote {args.output}/scorecard.md and roc.md", file=sys.stderr)
+
+    if args.action == "run":
+        for cell in result.cells:
+            metrics = cell.metrics
+            print(
+                f"{cell.cell_id}: {metrics.requests} req, "
+                f"{metrics.bot_deterred_fraction:.1%} bot deterred, "
+                f"{metrics.violation_leak_fraction:.1%} violation leak"
+            )
+    else:
+        print(scorecard_text)
+        print(roc_text)
+    return 0
+
+
 _HANDLERS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
@@ -716,6 +824,7 @@ _HANDLERS = {
     "worker": _cmd_worker,
     "versions": _cmd_versions,
     "lint": _cmd_lint,
+    "scenarios": _cmd_scenarios,
 }
 
 

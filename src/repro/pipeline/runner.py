@@ -279,17 +279,21 @@ class Pipeline:
         stats = context.stats
         shards: list[Shard] = context.artifact(item.shards_artifact)  # type: ignore[assignment]
         environment = self._environment()
-        # Batch-backed shards fingerprint straight off their columns; a
-        # warm rerun never materializes a single row object for them.
-        # Row-backed shards hash a transient batch (fingerprint_records)
-        # rather than caching one on the shard.
+        # Shards carrying an explicit fingerprint (non-record payloads
+        # like scenario cells) key on it directly.  Batch-backed shards
+        # fingerprint straight off their columns; a warm rerun never
+        # materializes a single row object for them.  Row-backed shards
+        # hash a transient batch (fingerprint_records) rather than
+        # caching one on the shard.
         keys = [
             digest_parts(
                 "shard",
                 item.name,
                 getattr(item, "token", ""),
                 environment,
-                fingerprint_batch(shard.batch)
+                shard.fingerprint
+                if shard.fingerprint is not None
+                else fingerprint_batch(shard.batch)
                 if shard.batch_backed
                 else fingerprint_records(shard.records),
             )

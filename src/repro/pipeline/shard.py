@@ -87,9 +87,16 @@ class Shard:
         positions: each record's position in the original stream,
             parallel to the records — the merge key that restores
             global order.
+        fingerprint: optional explicit content key for the per-shard
+            artifact cache.  Record shards derive their key from the
+            record content (see the runner); non-record payloads —
+            e.g. scenario-matrix cells, whose "records" are declarative
+            specs rather than :class:`LogRecord` rows — set this to a
+            digest of the payload itself so each shard's cache entry
+            keys on exactly what the worker will see.
     """
 
-    __slots__ = ("index", "positions", "_records", "_batch")
+    __slots__ = ("index", "positions", "fingerprint", "_records", "_batch")
 
     def __init__(
         self,
@@ -97,9 +104,11 @@ class Shard:
         records: list[LogRecord] | None = None,
         positions: list[int] | None = None,
         batch: RecordBatch | None = None,
+        fingerprint: str | None = None,
     ) -> None:
         self.index = index
         self.positions = positions if positions is not None else []
+        self.fingerprint = fingerprint
         self._records = records
         self._batch = batch
         if records is None and batch is None:

@@ -8,7 +8,12 @@ from .experiments import (
     run_experiment,
 )
 from .figures import render_bar_chart, render_grouped_bars, render_series
-from .scorecard import available_bots, render_scorecard
+from .scorecard import (
+    available_bots,
+    render_deterrence_scorecard,
+    render_roc_table,
+    render_scorecard,
+)
 from .study import VERSION_DIRECTIVES, StudyAnalysis, analyze
 from .tables import format_cell, render_kv, render_table
 
@@ -22,8 +27,10 @@ __all__ = [
     "format_cell",
     "render_scorecard",
     "render_bar_chart",
+    "render_deterrence_scorecard",
     "render_grouped_bars",
     "render_kv",
+    "render_roc_table",
     "render_series",
     "render_table",
     "run_all",

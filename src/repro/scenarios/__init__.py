@@ -1,0 +1,62 @@
+"""Adversarial scenario matrix: deterrence × bot fleet on the cached
+pipeline.
+
+Declares grids of scenario cells (bot profile × spoofing strategy ×
+deterrence config × robots corpus × traffic mix), executes each cell
+as a content-keyed sharded pipeline stage, and reduces the results
+into a deterrence scorecard and detector ROC tables.
+"""
+
+from .matrix import MatrixRun, build_matrix_pipeline, run_matrix
+from .report import DETECTORS, build_roc_tables, build_scorecard, roc_curve
+from .results import (
+    CellMetrics,
+    CellResult,
+    RocPoint,
+    RocTable,
+    ScorecardRow,
+)
+from .simulate import build_cell_gateway, cell_seed, run_cell, strategy_profile
+from .spec import (
+    DETERRENCE_PRESET_NAMES,
+    ROBOTS_CHOICES,
+    STRATEGIES,
+    TRAFFIC_MIXES,
+    DeterrenceConfig,
+    ScenarioGrid,
+    ScenarioSpec,
+    deterrence_preset,
+    full_grid,
+    parse_grid,
+    quick_grid,
+)
+
+__all__ = [
+    "CellMetrics",
+    "CellResult",
+    "DETECTORS",
+    "DETERRENCE_PRESET_NAMES",
+    "DeterrenceConfig",
+    "MatrixRun",
+    "ROBOTS_CHOICES",
+    "RocPoint",
+    "RocTable",
+    "STRATEGIES",
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "ScorecardRow",
+    "TRAFFIC_MIXES",
+    "build_cell_gateway",
+    "build_matrix_pipeline",
+    "build_roc_tables",
+    "build_scorecard",
+    "cell_seed",
+    "deterrence_preset",
+    "full_grid",
+    "parse_grid",
+    "quick_grid",
+    "roc_curve",
+    "run_cell",
+    "run_matrix",
+    "strategy_profile",
+]

@@ -1,0 +1,182 @@
+"""Result records for scenario matrix cells.
+
+Everything here is a frozen dataclass of plain values: cell results
+travel through the sharded executor (pickled across process
+boundaries under ``--jobs``/``--executor queue``), land in the
+artifact store, and get compared byte-for-byte across execution modes
+by the parity suite — all three require value-based ``repr`` and
+``eq`` with no identity-bearing state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellMetrics:
+    """What one scenario cell measured.
+
+    Attributes:
+        requests: total requests observed at the gateway.
+        served: requests that reached the origin and returned content.
+        blocked: requests rejected by the blocklist.
+        robots_denied: requests denied by server-side robots
+            enforcement (403 on a disallowed path).
+        throttled: requests rejected by the rate limiter (429).
+        tarpitted: requests steered into the tarpit maze.
+        bytes_sent: total response bytes.
+        robots_fetches: ``/robots.txt`` fetches.
+        trap_hits: requests to honeypot trap paths.
+        disallowed_attempts: requests (excluding robots.txt) to paths
+            the cell's robots policy denies the bot token — measured
+            against ground truth, not the gateway's decision.
+        disallowed_served: the subset of those that were served
+            anyway (deterrence gap).
+        bot_requests: requests originating from the bot under test.
+        bot_served: bot requests that were served.
+        noise_requests: background (human/scanner) requests.
+        noise_served: background requests that were served.
+        distinct_uas: distinct UA strings seen from bot IPs.
+        distinct_ips: distinct bot source IPs.
+        distinct_asns: distinct bot source ASNs.
+        score_honeypot: trap hits per bot request (honeypot detector).
+        score_asn: 1 - share of bot traffic from its home ASN
+            (ASN-spoof detector).
+        score_ua: mean extra UA strings per bot IP (rotation detector).
+        score_violation: ground-truth disallowed attempts per bot
+            request (robots-violation detector).
+    """
+
+    requests: int
+    served: int
+    blocked: int
+    robots_denied: int
+    throttled: int
+    tarpitted: int
+    bytes_sent: int
+    robots_fetches: int
+    trap_hits: int
+    disallowed_attempts: int
+    disallowed_served: int
+    bot_requests: int
+    bot_served: int
+    noise_requests: int
+    noise_served: int
+    distinct_uas: int
+    distinct_ips: int
+    distinct_asns: int
+    score_honeypot: float
+    score_asn: float
+    score_ua: float
+    score_violation: float
+
+    @property
+    def bot_deterred_fraction(self) -> float:
+        """Share of bot requests the gateway stopped."""
+        if self.bot_requests == 0:
+            return 0.0
+        return 1.0 - self.bot_served / self.bot_requests
+
+    @property
+    def noise_collateral_fraction(self) -> float:
+        """Share of innocent background traffic stopped (false
+        positives of the deterrence chain)."""
+        if self.noise_requests == 0:
+            return 0.0
+        return 1.0 - self.noise_served / self.noise_requests
+
+    @property
+    def violation_leak_fraction(self) -> float:
+        """Share of ground-truth-disallowed requests that got
+        content anyway."""
+        if self.disallowed_attempts == 0:
+            return 0.0
+        return self.disallowed_served / self.disallowed_attempts
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed matrix cell: identity + label + measurements.
+
+    Attributes:
+        cell_id: human-readable axis label
+            (``bot|strategy|deterrence|robots|traffic``).
+        fingerprint: the spec's content fingerprint (joins results
+            back to specs without re-deriving).
+        bot: bot profile axis value.
+        strategy: strategy axis value.
+        deterrence: deterrence config name.
+        robots_version: robots corpus axis value.
+        traffic: traffic mix axis value.
+        adversarial: ground-truth label for ROC curves.
+        metrics: the measurements.
+    """
+
+    cell_id: str
+    fingerprint: str
+    bot: str
+    strategy: str
+    deterrence: str
+    robots_version: str
+    traffic: str
+    adversarial: bool
+    metrics: CellMetrics
+
+
+@dataclass(frozen=True)
+class ScorecardRow:
+    """Aggregate effectiveness of one deterrence config across cells.
+
+    Attributes:
+        deterrence: config name.
+        cells: number of cells aggregated.
+        bot_deterred: mean bot-deterred fraction.
+        adversarial_deterred: mean deterred fraction over adversarial
+            cells only.
+        honest_deterred: mean deterred fraction over honest cells
+            (collateral on compliant bots).
+        noise_collateral: mean innocent-traffic collateral.
+        violation_leak: mean share of disallowed requests served.
+        tarpit_share: mean share of requests tarpitted.
+    """
+
+    deterrence: str
+    cells: int
+    bot_deterred: float
+    adversarial_deterred: float
+    honest_deterred: float
+    noise_collateral: float
+    violation_leak: float
+    tarpit_share: float
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of a detector score threshold.
+
+    Attributes:
+        threshold: score cutoff (cells scoring >= are flagged).
+        tpr: true-positive rate over adversarial cells.
+        fpr: false-positive rate over honest cells.
+    """
+
+    threshold: float
+    tpr: float
+    fpr: float
+
+
+@dataclass(frozen=True)
+class RocTable:
+    """A detector's ROC curve over the matrix.
+
+    Attributes:
+        detector: detector name (``honeypot``/``asn``/``ua``/
+            ``violation``).
+        auc: area under the curve (trapezoid rule).
+        points: operating points, descending threshold.
+    """
+
+    detector: str
+    auc: float
+    points: tuple[RocPoint, ...]

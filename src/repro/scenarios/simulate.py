@@ -1,0 +1,308 @@
+"""Execute one scenario matrix cell: bot × strategy × deterrence ×
+robots corpus × traffic mix.
+
+Each cell is a small, fully self-contained simulation: one generated
+site behind a :class:`~repro.deterrence.gateway.DeterrenceGateway`
+configured from the cell's :class:`~repro.scenarios.spec.DeterrenceConfig`,
+one bot agent with the cell's strategy applied to its calibrated
+profile, and a slice of background noise for collateral measurement.
+All randomness derives from the cell fingerprint, so a cell's result
+is a pure function of its spec — the property the content-keyed cache
+and the cross-executor parity suite both rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..bots.agent import BotAgent, agent_seed
+from ..bots.behavior import AdversarialTraits, BotProfile
+from ..bots.profiles import ROTATION_UA_POOL, profile_by_name
+from ..bots.spoofer import spoof_compliance_for
+from ..deterrence.blocklist import Blocklist, EscalationRule
+from ..deterrence.gateway import DeterrenceGateway
+from ..deterrence.ratelimit import RateLimiter
+from ..deterrence.tarpit import TarpitGenerator
+from ..robots.corpus import RobotsVersion, policy_for_version, render_version
+from ..robots.policy import RobotsPolicy
+from ..simulation.clock import SECONDS_PER_DAY, epoch
+from ..simulation.hooks import ObservedGateway, RequestObservation
+from ..simulation.noise import NoiseModel
+from ..simulation.scenario import Phase, StudyScenario
+from ..web.generator import build_site
+from ..web.server import WebServer
+from ..web.site import ROBOTS_PATH
+from .results import CellMetrics, CellResult
+from .spec import DeterrenceConfig, ScenarioSpec
+
+#: Every cell runs against the same single-site layout.
+CELL_SITE = "cell.university.edu"
+
+#: Virtual calendar anchor for all cells.
+CELL_EPOCH = "2025-03-01"
+
+#: Fleet ASNs for the distributed low-and-slow strategy (hosting
+#: providers from the paper's Table 8 spoof-origin list).
+FLEET_ASNS: tuple[int, ...] = (14061, 24940, 16276, 63949, 197540)
+
+#: Background noise volume per day (at the cell's scale=1.0), by mix.
+_NOISE_PER_DAY = {"steady": 120.0, "burst": 120.0, "noisy": 600.0}
+
+
+def cell_seed(spec: ScenarioSpec) -> int:
+    """Master seed for one cell, derived from its content identity."""
+    return agent_seed(spec.seed, spec.fingerprint())
+
+
+def strategy_profile(
+    spec: ScenarioSpec,
+) -> tuple[BotProfile, int | None, object]:
+    """The (profile, asn override, compliance override) realizing the
+    cell's strategy on its base bot profile."""
+    base = profile_by_name(spec.bot)
+    traits = base.adversarial if base.adversarial is not None else AdversarialTraits()
+    if spec.strategy == "honest":
+        return base, None, None
+    if spec.strategy == "spoof_asn":
+        asn = base.spoof_asns[0] if base.spoof_asns else FLEET_ASNS[0]
+        profile = dataclasses.replace(
+            base, trap_probe_rate=max(base.trap_probe_rate, 0.02)
+        )
+        return profile, asn, spoof_compliance_for(base.name)
+    if spec.strategy == "ua_rotation":
+        profile = dataclasses.replace(
+            base,
+            adversarial=dataclasses.replace(
+                traits, ua_pool=ROTATION_UA_POOL, ua_rotate_p=0.35
+            ),
+        )
+        return profile, None, None
+    if spec.strategy == "fetch_violate":
+        profile = dataclasses.replace(
+            base,
+            adversarial=dataclasses.replace(
+                traits, violate_after_fetch=True, violation_rate=0.4
+            ),
+        )
+        return profile, None, None
+    if spec.strategy == "low_slow":
+        profile = dataclasses.replace(
+            base,
+            ip_count=max(base.ip_count, 16),
+            adversarial=dataclasses.replace(
+                traits, asn_pool=FLEET_ASNS, session_rate_factor=0.5
+            ),
+        )
+        return profile, None, None
+    raise AssertionError(f"unreachable strategy {spec.strategy!r}")
+
+
+def build_cell_gateway(
+    config: DeterrenceConfig, server: WebServer, robots: RobotsPolicy
+) -> DeterrenceGateway:
+    """Instantiate the deterrence chain a cell's config describes."""
+    needs_blocklist = config.blocklist or config.escalation_strikes is not None
+    limiter = None
+    escalation = None
+    if config.ratelimit_capacity is not None:
+        limiter = RateLimiter(
+            capacity=config.ratelimit_capacity,
+            refill_per_second=config.ratelimit_refill,
+        )
+        if config.escalation_strikes is not None:
+            escalation = EscalationRule(strikes=config.escalation_strikes)
+    return DeterrenceGateway(
+        server=server,
+        blocklist=Blocklist() if needs_blocklist else None,
+        robots=robots if config.enforce_robots else None,
+        limiter=limiter,
+        escalation=escalation,
+        tarpit=TarpitGenerator() if config.tarpit else None,
+        tarpit_agents=config.tarpit_agents,
+    )
+
+
+def _mix_multiplier(traffic: str, day_index: int, days: int) -> float:
+    """Per-day volume multiplier for the traffic mix (mean ~1.0)."""
+    if traffic != "burst" or days < 2:
+        return 1.0
+    middle = days // 2
+    if day_index == middle:
+        return 3.0
+    return (days - 3.0) / (days - 1.0) if days > 3 else 0.6
+
+
+def run_cell(spec: ScenarioSpec) -> CellResult:
+    """Simulate one matrix cell and measure what the deterrence
+    configuration stopped."""
+    seed = cell_seed(spec)
+    rng = np.random.default_rng(seed)
+    version = RobotsVersion(spec.robots_version)
+
+    site = build_site(CELL_SITE, rng, n_news=30, n_events=10, n_people=40, n_docs=10)
+    site.set_robots(render_version(version))
+    server = WebServer()
+    server.host(site)
+
+    start = epoch(CELL_EPOCH)
+    end = start + spec.days * SECONDS_PER_DAY
+    scenario = StudyScenario(
+        phases=(Phase(version=version, start=start, end=end),),
+        overview_start=start,
+        overview_end=end,
+        experiment_site=CELL_SITE,
+        passive_sites=(),
+        scale=1.0,
+        seed=seed,
+        noise_accesses_per_day=_NOISE_PER_DAY[spec.traffic],
+    )
+
+    ground_truth = policy_for_version(version)
+    gateway = build_cell_gateway(spec.deterrence, server, ground_truth)
+    observed = ObservedGateway(gateway)
+
+    profile, asn_override, compliance_override = strategy_profile(spec)
+    agent = BotAgent(
+        profile,
+        scenario,
+        observed,  # type: ignore[arg-type] -- duck-typed server contract
+        asn=asn_override,
+        compliance_override=compliance_override,  # type: ignore[arg-type]
+        suffix="|cell",
+    )
+    noise = NoiseModel(scenario, observed)  # type: ignore[arg-type]
+
+    volume_factor = spec.accesses_target / max(
+        profile.accesses_per_day * spec.days, 1.0
+    )
+    day_start = start
+    for day_index in range(spec.days):
+        agent.emit_day(
+            day_start,
+            volume_factor * _mix_multiplier(spec.traffic, day_index, spec.days),
+        )
+        noise.emit_day(day_start)
+        day_start += SECONDS_PER_DAY
+
+    base = profile_by_name(spec.bot)
+    metrics = measure_cell(
+        observed.observations,
+        bot_ips=set(agent.ip_pool),
+        home_asn=base.home_asn,
+        robots_token=base.robots_token,
+        policy=ground_truth,
+        inventory=site.all_paths(),
+    )
+    return CellResult(
+        cell_id=spec.cell_id(),
+        fingerprint=spec.fingerprint(),
+        bot=spec.bot,
+        strategy=spec.strategy,
+        deterrence=spec.deterrence.name,
+        robots_version=spec.robots_version,
+        traffic=spec.traffic,
+        adversarial=spec.is_adversarial(),
+        metrics=metrics,
+    )
+
+
+def measure_cell(
+    observations: list[RequestObservation],
+    bot_ips: set[str],
+    home_asn: int,
+    robots_token: str,
+    policy: RobotsPolicy,
+    inventory: list[str],
+) -> CellMetrics:
+    """Reduce a cell's observation stream to metrics.
+
+    Ground-truth robots verdicts come from one batch sweep over the
+    site inventory (paths outside it — tarpit mazes — fall back to a
+    live check), and bot/noise attribution uses the simulation-side
+    IP pool the anonymized analysis log never sees.
+    """
+    allowed = dict(
+        zip(inventory, policy.can_fetch_many(robots_token, inventory))
+    )
+    counts = {
+        "served": 0,
+        "blocked": 0,
+        "robots_denied": 0,
+        "throttled": 0,
+        "tarpitted": 0,
+    }
+    bytes_sent = 0
+    robots_fetches = 0
+    trap_hits = 0
+    disallowed_attempts = 0
+    disallowed_served = 0
+    bot_requests = 0
+    bot_served = 0
+    noise_requests = 0
+    noise_served = 0
+    home_asn_requests = 0
+    uas_by_ip: dict[str, set[str]] = {}
+    bot_asns: set[int] = set()
+    for obs in observations:
+        counts[obs.outcome] = counts.get(obs.outcome, 0) + 1
+        bytes_sent += obs.bytes_sent
+        from_bot = obs.client_ip in bot_ips
+        if from_bot:
+            bot_requests += 1
+            if obs.outcome == "served":
+                bot_served += 1
+            if obs.asn == home_asn:
+                home_asn_requests += 1
+            bot_asns.add(obs.asn)
+            uas_by_ip.setdefault(obs.client_ip, set()).add(obs.user_agent)
+            if obs.path == ROBOTS_PATH:
+                robots_fetches += 1
+            elif obs.path.startswith("/secure/"):
+                trap_hits += 1
+            if obs.path != ROBOTS_PATH:
+                verdict = allowed.get(obs.path)
+                if verdict is None:
+                    verdict = policy.can_fetch(robots_token, obs.path)
+                if not verdict:
+                    disallowed_attempts += 1
+                    if obs.outcome == "served":
+                        disallowed_served += 1
+        else:
+            noise_requests += 1
+            if obs.outcome == "served":
+                noise_served += 1
+    requests = len(observations)
+    distinct_ips = len(uas_by_ip)
+    extra_uas = sum(len(uas) - 1 for uas in uas_by_ip.values())
+    return CellMetrics(
+        requests=requests,
+        served=counts["served"],
+        blocked=counts["blocked"],
+        robots_denied=counts["robots_denied"],
+        throttled=counts["throttled"],
+        tarpitted=counts["tarpitted"],
+        bytes_sent=bytes_sent,
+        robots_fetches=robots_fetches,
+        trap_hits=trap_hits,
+        disallowed_attempts=disallowed_attempts,
+        disallowed_served=disallowed_served,
+        bot_requests=bot_requests,
+        bot_served=bot_served,
+        noise_requests=noise_requests,
+        noise_served=noise_served,
+        distinct_uas=len(
+            {ua for uas in uas_by_ip.values() for ua in uas}
+        ),
+        distinct_ips=distinct_ips,
+        distinct_asns=len(bot_asns),
+        score_honeypot=trap_hits / bot_requests if bot_requests else 0.0,
+        score_asn=(
+            1.0 - home_asn_requests / bot_requests if bot_requests else 0.0
+        ),
+        score_ua=extra_uas / distinct_ips if distinct_ips else 0.0,
+        score_violation=(
+            disallowed_attempts / bot_requests if bot_requests else 0.0
+        ),
+    )

@@ -1,0 +1,393 @@
+"""Declarative scenario matrix: axes, cells, grids and their identity.
+
+A :class:`ScenarioGrid` is the cartesian product of five axes — bot
+profile × spoofing strategy × deterrence config × robots corpus ×
+traffic mix — expanded into frozen :class:`ScenarioSpec` cells.  Every
+value a cell carries is plain data with a value-based ``repr``, so a
+cell's :meth:`~ScenarioSpec.fingerprint` is a pure function of its
+content: the matrix runner keys each cell's cached result on that
+fingerprint, which is what makes "edit one deterrence knob, recompute
+exactly the cells using it" fall out of the artifact store instead of
+needing bookkeeping.
+
+Grid syntax (CLI ``--grid``): either a preset name (``quick``,
+``full``) or a semicolon-separated axis list, e.g.::
+
+    bots=GPTBot,Bytespider;strategy=honest,spoof_asn;\
+deterrence=none,full;robots=base,v3;traffic=steady
+
+Deterrence knob overrides (CLI ``--set``) rewrite one field of one
+named config, e.g. ``--set full.ratelimit_capacity=12`` — changing
+the fingerprints of exactly the cells whose deterrence axis is
+``full``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..exceptions import ConfigError
+from ..pipeline.store import digest_parts, stable_token
+
+#: Recognized spoofing/adversarial strategy axis values.
+STRATEGIES: tuple[str, ...] = (
+    "honest",
+    "spoof_asn",
+    "ua_rotation",
+    "fetch_violate",
+    "low_slow",
+)
+
+#: Robots corpus axis values (the paper's four deployed versions).
+ROBOTS_CHOICES: tuple[str, ...] = ("base", "v1", "v2", "v3")
+
+#: Traffic mix axis values.
+TRAFFIC_MIXES: tuple[str, ...] = ("steady", "burst", "noisy")
+
+
+@dataclass(frozen=True)
+class DeterrenceConfig:
+    """One named deterrence configuration (the gateway's knobs).
+
+    Attributes:
+        name: axis label (also the ``--set`` target).
+        blocklist: attach an (initially empty) blocklist so
+            escalation has somewhere to write blocks.
+        enforce_robots: enforce the cell's robots corpus server-side
+            (denied paths get 403 instead of content).
+        ratelimit_capacity: token-bucket burst capacity per IP;
+            ``None`` disables rate limiting.
+        ratelimit_refill: sustained tokens/second refill.
+        escalation_strikes: throttle events inside the escalation
+            window that convert into a temporary block; ``None``
+            disables escalation.
+        tarpit: serve tarpit mazes for tarpit paths and listed UAs.
+        tarpit_agents: UA fragments steered into the tarpit.
+    """
+
+    name: str
+    blocklist: bool = False
+    enforce_robots: bool = False
+    ratelimit_capacity: float | None = None
+    ratelimit_refill: float = 0.5
+    escalation_strikes: int | None = None
+    tarpit: bool = False
+    tarpit_agents: tuple[str, ...] = ()
+
+
+#: The four named presets of the deterrence axis.
+_DETERRENCE_PRESETS: dict[str, DeterrenceConfig] = {
+    "none": DeterrenceConfig(name="none"),
+    "robots": DeterrenceConfig(name="robots", enforce_robots=True),
+    "ratelimit": DeterrenceConfig(
+        name="ratelimit",
+        blocklist=True,
+        ratelimit_capacity=30.0,
+        ratelimit_refill=0.5,
+        escalation_strikes=10,
+    ),
+    "full": DeterrenceConfig(
+        name="full",
+        blocklist=True,
+        enforce_robots=True,
+        ratelimit_capacity=30.0,
+        ratelimit_refill=0.5,
+        escalation_strikes=10,
+        tarpit=True,
+        tarpit_agents=("Bytespider", "Scrapy", "python-requests"),
+    ),
+}
+
+DETERRENCE_PRESET_NAMES: tuple[str, ...] = tuple(_DETERRENCE_PRESETS)
+
+
+def deterrence_preset(name: str) -> DeterrenceConfig:
+    """The named deterrence preset (``none``/``robots``/``ratelimit``/
+    ``full``)."""
+    try:
+        return _DETERRENCE_PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown deterrence preset {name!r}; choose from "
+            f"{sorted(_DETERRENCE_PRESETS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One matrix cell: a fully-specified adversarial scenario.
+
+    Attributes:
+        bot: profile name (resolved via
+            :func:`repro.bots.profiles.profile_by_name`, which also
+            knows the adversarial extras).
+        strategy: spoofing/evasion strategy applied to the profile.
+        deterrence: the gateway configuration under test.
+        robots_version: robots corpus deployed on the cell site
+            (``base``/``v1``/``v2``/``v3``).
+        traffic: traffic mix (``steady``/``burst``/``noisy``).
+        days: simulated days.
+        seed: master seed folded into the per-cell RNG derivation.
+        accesses_target: approximate bot accesses to generate over
+            the whole window (volume is normalized per profile so
+            cells are comparable across bots).
+    """
+
+    bot: str
+    strategy: str
+    deterrence: DeterrenceConfig
+    robots_version: str
+    traffic: str
+    days: int = 2
+    seed: int = 2025
+    accesses_target: int = 400
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {self.strategy!r}; choose from {STRATEGIES}"
+            )
+        if self.robots_version not in ROBOTS_CHOICES:
+            raise ConfigError(
+                f"unknown robots version {self.robots_version!r}; "
+                f"choose from {ROBOTS_CHOICES}"
+            )
+        if self.traffic not in TRAFFIC_MIXES:
+            raise ConfigError(
+                f"unknown traffic mix {self.traffic!r}; choose from {TRAFFIC_MIXES}"
+            )
+        if self.days < 1:
+            raise ConfigError("days must be >= 1")
+
+    def cell_id(self) -> str:
+        """Human-readable cell label (stable across runs)."""
+        return "|".join(
+            (
+                self.bot,
+                self.strategy,
+                self.deterrence.name,
+                self.robots_version,
+                self.traffic,
+            )
+        )
+
+    def fingerprint(self) -> str:
+        """Content identity of this cell — every field participates,
+        so changing any knob (including one deterrence field) changes
+        exactly this cell's key."""
+        return digest_parts("scenario-cell", stable_token(self))
+
+    def is_adversarial(self) -> bool:
+        """Ground-truth label for detector ROC curves."""
+        return self.strategy != "honest"
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """The declarative matrix: axis values plus shared cell settings."""
+
+    bots: tuple[str, ...]
+    strategies: tuple[str, ...] = ("honest",)
+    deterrence: tuple[DeterrenceConfig, ...] = (deterrence_preset("none"),)
+    robots: tuple[str, ...] = ("base",)
+    traffic: tuple[str, ...] = ("steady",)
+    days: int = 2
+    seed: int = 2025
+    accesses_target: int = 400
+
+    def __post_init__(self) -> None:
+        if not self.bots:
+            raise ConfigError("grid needs at least one bot")
+        names = [config.name for config in self.deterrence]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate deterrence config names: {names}")
+
+    def cells(self) -> list[ScenarioSpec]:
+        """Expand the axes into cells, in deterministic grid order."""
+        specs: list[ScenarioSpec] = []
+        for bot in self.bots:
+            for strategy in self.strategies:
+                for config in self.deterrence:
+                    for robots_version in self.robots:
+                        for traffic in self.traffic:
+                            specs.append(
+                                ScenarioSpec(
+                                    bot=bot,
+                                    strategy=strategy,
+                                    deterrence=config,
+                                    robots_version=robots_version,
+                                    traffic=traffic,
+                                    days=self.days,
+                                    seed=self.seed,
+                                    accesses_target=self.accesses_target,
+                                )
+                            )
+        return specs
+
+    def fingerprint(self) -> str:
+        """Identity of the whole grid (orders the merge-stage key)."""
+        return digest_parts(
+            "scenario-grid", *[spec.fingerprint() for spec in self.cells()]
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self.bots)
+            * len(self.strategies)
+            * len(self.deterrence)
+            * len(self.robots)
+            * len(self.traffic)
+        )
+
+    def with_knob(self, setting: str) -> "ScenarioGrid":
+        """A copy with one deterrence knob rewritten.
+
+        ``setting`` is ``<config>.<field>=<value>``, e.g.
+        ``full.ratelimit_capacity=12``.  Only cells whose deterrence
+        axis is ``<config>`` change fingerprint.
+        """
+        try:
+            target, value = setting.split("=", 1)
+            config_name, field_name = target.split(".", 1)
+        except ValueError:
+            raise ConfigError(
+                f"knob setting must be <config>.<field>=<value>, got {setting!r}"
+            ) from None
+        fields = {f.name: f for f in dataclasses.fields(DeterrenceConfig)}
+        if field_name not in fields or field_name == "name":
+            raise ConfigError(
+                f"unknown deterrence field {field_name!r}; choose from "
+                f"{sorted(set(fields) - {'name'})}"
+            )
+        updated: list[DeterrenceConfig] = []
+        found = False
+        for config in self.deterrence:
+            if config.name == config_name:
+                found = True
+                config = dataclasses.replace(
+                    config, **{field_name: _coerce_knob(field_name, value)}
+                )
+            updated.append(config)
+        if not found:
+            raise ConfigError(
+                f"grid has no deterrence config named {config_name!r}"
+            )
+        return dataclasses.replace(self, deterrence=tuple(updated))
+
+
+def _coerce_knob(field_name: str, raw: str) -> object:
+    """Parse a ``--set`` value into the field's type."""
+    if field_name in ("blocklist", "enforce_robots", "tarpit"):
+        lowered = raw.strip().lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ConfigError(f"{field_name} expects a boolean, got {raw!r}")
+    if field_name == "escalation_strikes":
+        return None if raw.strip().lower() == "none" else int(raw)
+    if field_name in ("ratelimit_capacity", "ratelimit_refill"):
+        return None if raw.strip().lower() == "none" else float(raw)
+    if field_name == "tarpit_agents":
+        return tuple(part for part in raw.split(",") if part)
+    raise ConfigError(f"cannot set deterrence field {field_name!r}")
+
+
+def quick_grid(days: int = 1, seed: int = 2025) -> ScenarioGrid:
+    """The reduced 3 x 3 x 2 grid the CI gate runs: one bot, three
+    strategies, three deterrence configs, two robots corpora."""
+    return ScenarioGrid(
+        bots=("GPTBot",),
+        strategies=("honest", "spoof_asn", "fetch_violate"),
+        deterrence=(
+            deterrence_preset("none"),
+            deterrence_preset("robots"),
+            deterrence_preset("full"),
+        ),
+        robots=("base", "v3"),
+        traffic=("steady",),
+        days=days,
+        seed=seed,
+        accesses_target=250,
+    )
+
+
+def full_grid(days: int = 2, seed: int = 2025) -> ScenarioGrid:
+    """The nightly fleet: hundreds of cells across every axis."""
+    return ScenarioGrid(
+        bots=(
+            "GPTBot",
+            "ClaudeBot",
+            "Bytespider",
+            "YisouSpider",
+            "PerplexityBot",
+            "UA-Rotator",
+            "RobotsViolator",
+            "LowSlowFleet",
+        ),
+        strategies=STRATEGIES,
+        deterrence=tuple(_DETERRENCE_PRESETS.values()),
+        robots=ROBOTS_CHOICES,
+        traffic=("steady", "burst"),
+        days=days,
+        seed=seed,
+        accesses_target=400,
+    )
+
+
+_PRESETS = {"quick": quick_grid, "full": full_grid}
+
+
+def parse_grid(text: str, days: int | None = None, seed: int | None = None) -> ScenarioGrid:
+    """Parse a ``--grid`` argument: a preset name or an axis list."""
+    text = text.strip()
+    if text in _PRESETS:
+        grid = _PRESETS[text]()
+        if days is not None:
+            grid = dataclasses.replace(grid, days=days)
+        if seed is not None:
+            grid = dataclasses.replace(grid, seed=seed)
+        return grid
+    axes: dict[str, tuple[str, ...]] = {}
+    extras: dict[str, int] = {}
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            key, values = part.split("=", 1)
+        except ValueError:
+            raise ConfigError(
+                f"grid axis must be key=value[,value...], got {part!r}"
+            ) from None
+        key = key.strip().lower()
+        if key in ("days", "seed", "accesses_target"):
+            extras[key] = int(values)
+            continue
+        axes[key] = tuple(
+            value.strip() for value in values.split(",") if value.strip()
+        )
+    known = {"bots", "strategy", "deterrence", "robots", "traffic"}
+    unknown = set(axes) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown grid axes {sorted(unknown)}; choose from {sorted(known)}"
+        )
+    if "bots" not in axes:
+        raise ConfigError("grid needs a bots= axis (or use a preset name)")
+    if days is not None:
+        extras["days"] = days
+    if seed is not None:
+        extras["seed"] = seed
+    return ScenarioGrid(
+        bots=axes["bots"],
+        strategies=axes.get("strategy", ("honest",)),
+        deterrence=tuple(
+            deterrence_preset(name)
+            for name in axes.get("deterrence", ("none",))
+        ),
+        robots=axes.get("robots", ("base",)),
+        traffic=axes.get("traffic", ("steady",)),
+        **extras,
+    )

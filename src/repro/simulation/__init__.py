@@ -9,6 +9,7 @@ from .clock import (
     iso_day,
 )
 from .engine import SimulationEngine, StudyDataset, run_study
+from .hooks import ObservedGateway, RequestObservation
 from .iphash import IpAnonymizer, generate_ip_pool
 from .noise import NoiseModel
 from .scenario import Phase, StudyScenario, default_scenario, quick_scenario
@@ -16,7 +17,9 @@ from .scenario import Phase, StudyScenario, default_scenario, quick_scenario
 __all__ = [
     "IpAnonymizer",
     "NoiseModel",
+    "ObservedGateway",
     "Phase",
+    "RequestObservation",
     "SECONDS_PER_DAY",
     "SimulationEngine",
     "StudyDataset",

@@ -1,0 +1,103 @@
+"""Simulation hooks: observable fronts between agents and the origin.
+
+The bot agents only need two things from whatever they are pointed
+at: a ``sites`` mapping (to pick browse targets) and a
+``handle(request)`` method (to emit traffic).  :class:`ObservedGateway`
+satisfies that contract while routing every request through a
+:class:`~repro.deterrence.gateway.DeterrenceGateway` policy chain and
+recording the outcome — the instrumentation layer the scenario matrix
+uses to measure what a deterrence configuration actually stopped.
+
+Observations keep the *client-side ground truth* (raw IP, ASN, UA,
+the exact path asked for) that the anonymized analysis log discards,
+which is what makes detector ROC curves computable: the simulation
+knows which traffic was adversarial, the detectors only see what a
+server operator would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deterrence.gateway import DeterrenceGateway
+from ..exceptions import ConfigError
+from ..web.message import Request, Response
+from ..web.site import Website
+
+
+@dataclass(frozen=True)
+class RequestObservation:
+    """One request/outcome pair as seen at the gateway.
+
+    Attributes:
+        host: target site.
+        path: requested URI path.
+        user_agent: UA header presented (post any rotation).
+        client_ip: raw source IP (simulation-side ground truth).
+        asn: source network.
+        timestamp: virtual request time.
+        outcome: gateway verdict — ``served``, ``blocked``,
+            ``robots_denied``, ``throttled`` or ``tarpitted``.
+        status: HTTP status of the response actually returned.
+        bytes_sent: response body size.
+    """
+
+    host: str
+    path: str
+    user_agent: str
+    client_ip: str
+    asn: int
+    timestamp: float
+    outcome: str
+    status: int
+    bytes_sent: int
+
+
+@dataclass
+class ObservedGateway:
+    """A recording front over a deterrence gateway.
+
+    Exposes the agent-facing server contract (``sites`` +
+    ``handle``), runs each request through the gateway's policy
+    chain, forwards served requests to the origin, and appends one
+    :class:`RequestObservation` per request.
+    """
+
+    gateway: DeterrenceGateway
+    observations: list[RequestObservation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.gateway.server is None:
+            raise ConfigError(
+                "ObservedGateway needs a gateway bound to an origin server"
+            )
+
+    @property
+    def sites(self) -> dict[str, Website]:
+        assert self.gateway.server is not None
+        return self.gateway.server.sites
+
+    def site(self, hostname: str) -> Website | None:
+        return self.sites.get(hostname)
+
+    def handle(self, request: Request) -> Response:
+        verdict = self.gateway.verdict(request)
+        if verdict.response is None:
+            assert self.gateway.server is not None
+            response = self.gateway.server.handle(request)
+        else:
+            response = verdict.response
+        self.observations.append(
+            RequestObservation(
+                host=request.host,
+                path=request.path,
+                user_agent=request.user_agent,
+                client_ip=request.client_ip,
+                asn=request.asn,
+                timestamp=request.timestamp,
+                outcome=verdict.outcome,
+                status=response.status,
+                bytes_sent=response.body_bytes,
+            )
+        )
+        return response

@@ -1,0 +1,188 @@
+"""scripts/append_bench_trajectory.py: idempotent, sha-or-content keyed."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "append_bench_trajectory.py"
+)
+_spec = importlib.util.spec_from_file_location("append_bench_trajectory", _SCRIPT)
+script = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(script)
+
+
+def _payload(sha="", entries=None, **extra):
+    payload = {
+        "schema": 1,
+        "sha": sha,
+        "python": "3.12.1",
+        "platform": "linux",
+        "scale": 0.05,
+        "seed": 2025,
+        "entries": entries
+        if entries is not None
+        else [
+            {
+                "kind": "pytest-benchmark",
+                "name": "bench_pipeline",
+                "mean": 1.25,
+                "min": 1.10,
+                "median": 1.20,
+                "rounds": 5,
+                "stddev": 0.01,  # dropped by compaction
+            }
+        ],
+    }
+    payload.update(extra)
+    return payload
+
+
+def _write_artifact(tmp_path, payload, name="BENCH_test.json"):
+    artifact = tmp_path / name
+    artifact.write_text(json.dumps(payload))
+    return artifact
+
+
+def _lines(trajectory: Path) -> list[dict]:
+    parsed = []
+    if not trajectory.is_file():
+        return parsed
+    for line in trajectory.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return parsed
+
+
+@pytest.fixture(autouse=True)
+def _no_ci_sha(monkeypatch):
+    monkeypatch.delenv("GITHUB_SHA", raising=False)
+
+
+class TestAppend:
+    def test_creates_missing_trajectory_file(self, tmp_path):
+        artifact = _write_artifact(tmp_path, _payload(sha="abc123"))
+        trajectory = tmp_path / "nested" / "BENCH_TRAJECTORY.jsonl"
+        code = script.main([str(artifact), "--trajectory", str(trajectory)])
+        assert code == 0
+        lines = _lines(trajectory)
+        assert len(lines) == 1
+        assert lines[0]["sha"] == "abc123"
+
+    def test_compacts_pytest_benchmark_entries(self, tmp_path):
+        artifact = _write_artifact(tmp_path, _payload(sha="abc123"))
+        trajectory = tmp_path / "t.jsonl"
+        script.main([str(artifact), "--trajectory", str(trajectory)])
+        entry = _lines(trajectory)[0]["entries"][0]
+        assert set(entry) == {"name", "kind", "mean", "min", "median", "rounds"}
+
+    def test_unreadable_artifact_fails(self, tmp_path, capsys):
+        code = script.main(
+            [str(tmp_path / "missing.json"), "--trajectory", str(tmp_path / "t")]
+        )
+        assert code == 1
+
+
+class TestShaIdempotence:
+    def test_rerun_on_same_sha_is_a_noop(self, tmp_path):
+        artifact = _write_artifact(tmp_path, _payload(sha="abc123"))
+        trajectory = tmp_path / "t.jsonl"
+        assert script.main([str(artifact), "--trajectory", str(trajectory)]) == 0
+        assert script.main([str(artifact), "--trajectory", str(trajectory)]) == 0
+        assert len(_lines(trajectory)) == 1
+
+    def test_different_shas_both_append(self, tmp_path):
+        trajectory = tmp_path / "t.jsonl"
+        for sha in ("abc123", "def456"):
+            artifact = _write_artifact(
+                tmp_path, _payload(sha=sha), name=f"BENCH_{sha}.json"
+            )
+            script.main([str(artifact), "--trajectory", str(trajectory)])
+        assert [line["sha"] for line in _lines(trajectory)] == [
+            "abc123",
+            "def456",
+        ]
+
+
+class TestEmptyShaIdempotence:
+    """The historical bug: empty-sha payloads appended on every rerun."""
+
+    def test_rerun_on_sha_less_payload_is_a_noop(self, tmp_path):
+        artifact = _write_artifact(tmp_path, _payload(sha=""))
+        trajectory = tmp_path / "t.jsonl"
+        script.main([str(artifact), "--trajectory", str(trajectory)])
+        script.main([str(artifact), "--trajectory", str(trajectory)])
+        assert len(_lines(trajectory)) == 1
+
+    def test_sha_less_payloads_with_different_content_both_append(
+        self, tmp_path
+    ):
+        trajectory = tmp_path / "t.jsonl"
+        first = _write_artifact(tmp_path, _payload(sha=""), name="a.json")
+        second = _write_artifact(
+            tmp_path, _payload(sha="", seed=9), name="b.json"
+        )
+        script.main([str(first), "--trajectory", str(trajectory)])
+        script.main([str(second), "--trajectory", str(trajectory)])
+        assert len(_lines(trajectory)) == 2
+
+    def test_recorded_timestamp_does_not_defeat_dedupe(self, tmp_path):
+        """The content key ignores the append-time stamp — a line
+        recorded earlier still dedupes an identical payload later."""
+        trajectory = tmp_path / "t.jsonl"
+        line = script.trajectory_line(_payload(sha=""), "2020-01-01T00:00:00Z")
+        trajectory.write_text(
+            json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        artifact = _write_artifact(tmp_path, _payload(sha=""))
+        script.main([str(artifact), "--trajectory", str(trajectory)])
+        assert len(_lines(trajectory)) == 1
+
+
+class TestShaSources:
+    def test_cli_sha_overrides_payload(self, tmp_path):
+        artifact = _write_artifact(tmp_path, _payload(sha="payload-sha"))
+        trajectory = tmp_path / "t.jsonl"
+        script.main(
+            [str(artifact), "--trajectory", str(trajectory), "--sha", "cli-sha"]
+        )
+        assert _lines(trajectory)[0]["sha"] == "cli-sha"
+
+    def test_github_sha_fallback_for_sha_less_payload(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("GITHUB_SHA", "env-sha")
+        artifact = _write_artifact(tmp_path, _payload(sha=""))
+        trajectory = tmp_path / "t.jsonl"
+        script.main([str(artifact), "--trajectory", str(trajectory)])
+        assert _lines(trajectory)[0]["sha"] == "env-sha"
+
+    def test_payload_sha_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "env-sha")
+        artifact = _write_artifact(tmp_path, _payload(sha="payload-sha"))
+        trajectory = tmp_path / "t.jsonl"
+        script.main([str(artifact), "--trajectory", str(trajectory)])
+        assert _lines(trajectory)[0]["sha"] == "payload-sha"
+
+
+class TestTolerance:
+    def test_corrupt_lines_do_not_block_appends(self, tmp_path):
+        trajectory = tmp_path / "t.jsonl"
+        trajectory.write_text("not json\n\n")
+        artifact = _write_artifact(tmp_path, _payload(sha="abc123"))
+        assert script.main([str(artifact), "--trajectory", str(trajectory)]) == 0
+        assert len(_lines(trajectory)) == 1
+
+    def test_dedupe_key_distinguishes_sha_from_content(self):
+        with_sha = script.trajectory_line(_payload(sha="abc"), "t")
+        without = script.trajectory_line(_payload(sha=""), "t")
+        assert script.dedupe_key(with_sha) == "sha:abc"
+        assert script.dedupe_key(without).startswith("content:")

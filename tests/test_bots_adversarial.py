@@ -1,0 +1,201 @@
+"""Adversarial bot behaviours: UA rotation, fetch-then-violate,
+distributed low-and-slow — and the observation hook they feed."""
+
+import dataclasses
+
+import pytest
+
+from repro.bots import (
+    AdversarialTraits,
+    ROTATION_UA_POOL,
+    BotAgent,
+    adversarial_profiles,
+    profile_by_name,
+)
+from repro.deterrence.gateway import DeterrenceGateway
+from repro.exceptions import ConfigError
+from repro.robots.corpus import RobotsVersion, policy_for_version, render_version
+from repro.scenarios.simulate import CELL_SITE, FLEET_ASNS
+from repro.simulation import ObservedGateway, Phase, StudyScenario
+from repro.simulation.clock import SECONDS_PER_DAY, epoch
+from repro.web.generator import build_site
+from repro.web.server import WebServer
+from repro.web.site import ROBOTS_PATH
+
+import numpy as np
+
+START = epoch("2025-03-01")
+
+
+def _observed(version=RobotsVersion.BASE):
+    rng = np.random.default_rng(7)
+    site = build_site(CELL_SITE, rng, n_news=15, n_events=5, n_people=10, n_docs=5)
+    site.set_robots(render_version(version))
+    server = WebServer()
+    server.host(site)
+    return ObservedGateway(DeterrenceGateway(server=server))
+
+
+def _scenario(days=2, seed=11):
+    return StudyScenario(
+        phases=(
+            Phase(
+                version=RobotsVersion.BASE,
+                start=START,
+                end=START + days * SECONDS_PER_DAY,
+            ),
+        ),
+        overview_start=START,
+        overview_end=START + days * SECONDS_PER_DAY,
+        experiment_site=CELL_SITE,
+        passive_sites=(),
+        scale=1.0,
+        seed=seed,
+    )
+
+
+def _emit(profile, observed, days=2, volume_factor=0.02):
+    agent = BotAgent(profile, _scenario(days=days), observed)
+    day = START
+    for _ in range(days):
+        agent.emit_day(day, volume_factor)
+        day += SECONDS_PER_DAY
+    return agent
+
+
+class TestAdversarialTraits:
+    def test_probability_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AdversarialTraits(ua_pool=("a",), ua_rotate_p=1.5)
+        with pytest.raises(ValueError):
+            AdversarialTraits(violation_rate=-0.1)
+
+    def test_session_rate_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdversarialTraits(session_rate_factor=0.0)
+
+    def test_flags(self):
+        assert AdversarialTraits(ua_pool=("a",)).rotates_ua
+        assert AdversarialTraits(asn_pool=(1,)).distributed
+        assert not AdversarialTraits().rotates_ua
+        assert not AdversarialTraits().distributed
+
+
+class TestUaRotation:
+    def test_rotator_presents_multiple_uas(self):
+        base = profile_by_name("GPTBot")
+        profile = dataclasses.replace(
+            base,
+            adversarial=AdversarialTraits(
+                ua_pool=ROTATION_UA_POOL, ua_rotate_p=0.5
+            ),
+        )
+        observed = _observed()
+        _emit(profile, observed)
+        uas = {obs.user_agent for obs in observed.observations}
+        assert len(uas) > 1
+        assert uas <= set(ROTATION_UA_POOL)
+
+    def test_plain_profile_presents_one_ua(self):
+        observed = _observed()
+        _emit(profile_by_name("GPTBot"), observed)
+        uas = {obs.user_agent for obs in observed.observations}
+        assert uas == {profile_by_name("GPTBot").user_agent}
+
+
+class TestFetchThenViolate:
+    def _violator(self):
+        base = profile_by_name("GPTBot")
+        return dataclasses.replace(
+            base,
+            adversarial=AdversarialTraits(
+                violate_after_fetch=True, violation_rate=0.6
+            ),
+        )
+
+    def test_fetches_robots_every_session_then_violates(self):
+        observed = _observed(RobotsVersion.V3_DISALLOW_ALL)
+        _emit(self._violator(), observed)
+        fetches = [
+            o for o in observed.observations if o.path == ROBOTS_PATH
+        ]
+        assert fetches, "violator must fetch robots.txt"
+        policy = policy_for_version(RobotsVersion.V3_DISALLOW_ALL)
+        token = profile_by_name("GPTBot").robots_token
+        violations = [
+            o
+            for o in observed.observations
+            if o.path != ROBOTS_PATH and not policy.can_fetch(token, o.path)
+        ]
+        assert violations, "violator must request disallowed paths"
+        # the robots fetch precedes the first violation in every case
+        assert min(o.timestamp for o in fetches) <= min(
+            o.timestamp for o in violations
+        )
+
+
+class TestLowSlowFleet:
+    def test_sessions_spread_across_fleet_asns(self):
+        base = profile_by_name("GPTBot")
+        profile = dataclasses.replace(
+            base,
+            ip_count=16,
+            adversarial=AdversarialTraits(
+                asn_pool=FLEET_ASNS, session_rate_factor=1.0
+            ),
+        )
+        observed = _observed()
+        _emit(profile, observed, volume_factor=0.05)
+        asns = {obs.asn for obs in observed.observations}
+        assert len(asns) > 1
+        assert asns <= set(FLEET_ASNS)
+
+    def test_session_rate_factor_slows_the_crawl(self):
+        base = profile_by_name("GPTBot")
+        slow = dataclasses.replace(
+            base,
+            adversarial=AdversarialTraits(session_rate_factor=0.25),
+        )
+        fast_observed = _observed()
+        slow_observed = _observed()
+        _emit(base, fast_observed, volume_factor=1.0)
+        _emit(slow, slow_observed, volume_factor=1.0)
+        assert (
+            len(slow_observed.observations) < len(fast_observed.observations)
+        )
+
+
+class TestAdversarialProfiles:
+    def test_registry_exposes_the_three_fleet_profiles(self):
+        names = {profile.name for profile in adversarial_profiles()}
+        assert names == {"UA-Rotator", "RobotsViolator", "LowSlowFleet"}
+
+    def test_profile_by_name_resolves_them(self):
+        for name in ("UA-Rotator", "RobotsViolator", "LowSlowFleet"):
+            profile = profile_by_name(name)
+            assert profile.adversarial is not None
+
+    def test_traits_are_cache_key_safe(self):
+        for profile in adversarial_profiles():
+            assert " at 0x" not in repr(profile.adversarial)
+
+
+class TestObservedGateway:
+    def test_requires_an_origin(self):
+        with pytest.raises(ConfigError):
+            ObservedGateway(DeterrenceGateway())
+
+    def test_records_one_observation_per_request(self):
+        observed = _observed()
+        _emit(profile_by_name("GPTBot"), observed)
+        assert observed.observations
+        assert all(
+            o.outcome == "served" for o in observed.observations
+        )  # no deterrence configured
+        assert observed.gateway.stats.total == len(observed.observations)
+
+    def test_exposes_server_contract(self):
+        observed = _observed()
+        assert CELL_SITE in observed.sites
+        assert observed.site(CELL_SITE) is not None
+        assert observed.site("missing.example") is None

@@ -919,3 +919,32 @@ class TestRepositoryIsClean:
         # stage-determinism tables (RPR001 would fire on time.time).
         assert not any("repro.distributed" in q for q in graph.reachable)
         assert not any("repro.distributed" in q for q in graph.shard_reachable)
+
+    def test_scenario_stages_are_callgraph_covered(self):
+        """The matrix runner's stages (and the simulation cone their
+        worker pulls in) fall under RPR001-RPR005 automatically."""
+        from repro.devtools.lint.project import load_project
+
+        project = load_project([REPO_ROOT / "src"], root=REPO_ROOT)
+        graph = project.callgraph
+        by_stage = {
+            (root.stage_name, root.role): root.decl.qualname
+            for root in graph.roots
+            if root.decl is not None
+        }
+        assert by_stage[("cells", "worker")] == (
+            "repro.scenarios.matrix._cell_worker"
+        )
+        assert by_stage[("cells", "merge")] == (
+            "repro.scenarios.matrix._merge_cells"
+        )
+        assert ("scorecard", "stage") in by_stage
+        assert ("roc", "stage") in by_stage
+        # The whole cell simulation runs inside the shard worker, so
+        # the determinism rules see the simulation/bots cone it pulls
+        # in (seeded-RNG-only is enforced there).
+        shard = set(graph.shard_reachable)
+        assert "repro.scenarios.simulate.run_cell" in shard
+        assert "repro.scenarios.simulate.measure_cell" in shard
+        assert any(q.startswith("repro.bots.agent") for q in shard)
+        assert any(q.startswith("repro.simulation.hooks") for q in shard)

@@ -1,0 +1,259 @@
+"""Scenario grid declaration: expansion, fingerprints, knob edits."""
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.scenarios import (
+    DeterrenceConfig,
+    ScenarioGrid,
+    ScenarioSpec,
+    deterrence_preset,
+    full_grid,
+    parse_grid,
+    quick_grid,
+)
+
+
+def _tiny_grid(**overrides):
+    defaults = dict(
+        bots=("GPTBot",),
+        strategies=("honest", "fetch_violate"),
+        deterrence=(deterrence_preset("none"), deterrence_preset("full")),
+        robots=("base",),
+        traffic=("steady",),
+        days=1,
+    )
+    defaults.update(overrides)
+    return ScenarioGrid(**defaults)
+
+
+class TestGridExpansion:
+    def test_cell_count_is_axis_product(self):
+        grid = _tiny_grid()
+        assert len(grid) == 4
+        assert len(grid.cells()) == 4
+
+    def test_cells_cover_every_combination(self):
+        grid = _tiny_grid()
+        ids = {spec.cell_id() for spec in grid.cells()}
+        assert ids == {
+            "GPTBot|honest|none|base|steady",
+            "GPTBot|honest|full|base|steady",
+            "GPTBot|fetch_violate|none|base|steady",
+            "GPTBot|fetch_violate|full|base|steady",
+        }
+
+    def test_expansion_order_is_deterministic(self):
+        grid = _tiny_grid()
+        assert [s.cell_id() for s in grid.cells()] == [
+            s.cell_id() for s in grid.cells()
+        ]
+
+    def test_quick_grid_is_the_ci_shape(self):
+        grid = quick_grid()
+        # 1 bot x 3 strategies x 3 deterrence x 2 robots x 1 traffic
+        assert len(grid) == 18
+
+    def test_full_grid_is_hundreds_of_cells(self):
+        assert len(full_grid()) >= 300
+
+    def test_empty_bots_rejected(self):
+        with pytest.raises(ConfigError):
+            _tiny_grid(bots=())
+
+    def test_duplicate_deterrence_names_rejected(self):
+        with pytest.raises(ConfigError):
+            _tiny_grid(
+                deterrence=(
+                    deterrence_preset("none"),
+                    deterrence_preset("none"),
+                )
+            )
+
+
+class TestSpecValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(
+                bot="GPTBot",
+                strategy="teleport",
+                deterrence=deterrence_preset("none"),
+                robots_version="base",
+                traffic="steady",
+            )
+
+    def test_unknown_robots_version_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(
+                bot="GPTBot",
+                strategy="honest",
+                deterrence=deterrence_preset("none"),
+                robots_version="v9",
+                traffic="steady",
+            )
+
+    def test_unknown_traffic_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(
+                bot="GPTBot",
+                strategy="honest",
+                deterrence=deterrence_preset("none"),
+                robots_version="base",
+                traffic="tsunami",
+            )
+
+    def test_adversarial_label(self):
+        honest = ScenarioSpec(
+            bot="GPTBot",
+            strategy="honest",
+            deterrence=deterrence_preset("none"),
+            robots_version="base",
+            traffic="steady",
+        )
+        rotated = dataclasses.replace(honest, strategy="ua_rotation")
+        assert not honest.is_adversarial()
+        assert rotated.is_adversarial()
+
+
+class TestFingerprints:
+    def test_fingerprint_is_stable(self):
+        spec = quick_grid().cells()[0]
+        assert spec.fingerprint() == spec.fingerprint()
+
+    def test_every_cell_fingerprint_distinct(self):
+        specs = quick_grid().cells()
+        assert len({s.fingerprint() for s in specs}) == len(specs)
+
+    def test_fingerprint_covers_deterrence_fields(self):
+        spec = quick_grid().cells()[0]
+        tweaked = dataclasses.replace(
+            spec,
+            deterrence=dataclasses.replace(
+                spec.deterrence, ratelimit_capacity=99.0
+            ),
+        )
+        assert spec.fingerprint() != tweaked.fingerprint()
+
+    def test_fingerprint_independent_of_grid_membership(self):
+        """The same cell in two different grids keys identically —
+        the property that makes sub-grids fully warm."""
+        big = quick_grid()
+        small = dataclasses.replace(
+            big, strategies=("honest",), robots=("base",)
+        )
+        big_fps = {s.cell_id(): s.fingerprint() for s in big.cells()}
+        for spec in small.cells():
+            assert spec.fingerprint() == big_fps[spec.cell_id()]
+
+    def test_grid_fingerprint_changes_with_shape(self):
+        grid = _tiny_grid()
+        wider = _tiny_grid(robots=("base", "v3"))
+        assert grid.fingerprint() != wider.fingerprint()
+
+
+class TestKnobEdits:
+    def test_with_knob_rewrites_only_named_config(self):
+        grid = _tiny_grid()
+        edited = grid.with_knob("full.ratelimit_capacity=12")
+        by_name = {c.name: c for c in edited.deterrence}
+        assert by_name["full"].ratelimit_capacity == 12.0
+        assert by_name["none"] == deterrence_preset("none")
+
+    def test_with_knob_changes_only_affected_cell_fingerprints(self):
+        grid = _tiny_grid()
+        edited = grid.with_knob("full.ratelimit_capacity=12")
+        before = {s.cell_id(): s.fingerprint() for s in grid.cells()}
+        for spec in edited.cells():
+            if spec.deterrence.name == "full":
+                assert spec.fingerprint() != before[spec.cell_id()]
+            else:
+                assert spec.fingerprint() == before[spec.cell_id()]
+
+    def test_boolean_and_none_coercion(self):
+        grid = _tiny_grid()
+        edited = grid.with_knob("full.tarpit=false").with_knob(
+            "full.escalation_strikes=none"
+        )
+        config = {c.name: c for c in edited.deterrence}["full"]
+        assert config.tarpit is False
+        assert config.escalation_strikes is None
+
+    def test_tuple_coercion(self):
+        grid = _tiny_grid()
+        edited = grid.with_knob("full.tarpit_agents=Scrapy,curl")
+        config = {c.name: c for c in edited.deterrence}["full"]
+        assert config.tarpit_agents == ("Scrapy", "curl")
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ConfigError):
+            _tiny_grid().with_knob("ratelimit.ratelimit_capacity=1")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            _tiny_grid().with_knob("full.lasers=on")
+
+    def test_malformed_setting_rejected(self):
+        with pytest.raises(ConfigError):
+            _tiny_grid().with_knob("full.ratelimit_capacity")
+
+    def test_renaming_via_knob_rejected(self):
+        with pytest.raises(ConfigError):
+            _tiny_grid().with_knob("full.name=other")
+
+
+class TestParseGrid:
+    def test_presets(self):
+        assert len(parse_grid("quick")) == 18
+        assert len(parse_grid("full")) >= 300
+
+    def test_preset_day_and_seed_overrides(self):
+        grid = parse_grid("quick", days=3, seed=7)
+        assert grid.days == 3
+        assert grid.seed == 7
+
+    def test_axis_syntax(self):
+        grid = parse_grid(
+            "bots=GPTBot,Bytespider;strategy=honest,spoof_asn;"
+            "deterrence=none,full;robots=base,v3;traffic=steady,burst"
+        )
+        assert len(grid) == 2 * 2 * 2 * 2 * 2
+        assert {c.name for c in grid.deterrence} == {"none", "full"}
+
+    def test_axis_defaults(self):
+        grid = parse_grid("bots=GPTBot")
+        assert len(grid) == 1
+        assert grid.strategies == ("honest",)
+
+    def test_inline_scalars(self):
+        grid = parse_grid("bots=GPTBot;days=5;seed=3;accesses_target=100")
+        assert (grid.days, grid.seed, grid.accesses_target) == (5, 3, 100)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_grid("bots=GPTBot;color=red")
+
+    def test_missing_bots_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_grid("strategy=honest")
+
+    def test_unknown_deterrence_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_grid("bots=GPTBot;deterrence=shields")
+
+
+class TestDeterrenceConfig:
+    def test_presets_are_value_objects(self):
+        assert deterrence_preset("full") == deterrence_preset("full")
+        assert " at 0x" not in repr(deterrence_preset("full"))
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            deterrence_preset("nuclear")
+
+    def test_config_repr_is_cache_key_safe(self):
+        config = DeterrenceConfig(name="x", ratelimit_capacity=5.0)
+        assert repr(config) == repr(
+            DeterrenceConfig(name="x", ratelimit_capacity=5.0)
+        )
